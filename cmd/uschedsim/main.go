@@ -1,0 +1,123 @@
+// Command uschedsim runs the paper's experiments on the simulated stack
+// and prints paper-style tables.
+//
+// Usage:
+//
+//	uschedsim machine                 # print the Table 1 machine model
+//	uschedsim matmul [-quick]         # Figure 3 heatmaps
+//	uschedsim cholesky [-quick]       # Table 2
+//	uschedsim microservices [-quick]  # Figure 4
+//	uschedsim lammps [-quick]         # Figure 5 (+ bandwidth trace)
+//	uschedsim all -quick              # everything, small instances
+//
+// Full-size sweeps (-quick omitted) run the scaled paper configurations
+// and can take many minutes of host time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/workloads/md"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	quick := fs.Bool("quick", false, "run small, fast instances instead of the scaled paper sweep")
+	_ = fs.Parse(os.Args[2:])
+
+	switch cmd {
+	case "machine":
+		machineCmd()
+	case "matmul":
+		matmulCmd(*quick)
+	case "cholesky":
+		choleskyCmd(*quick)
+	case "microservices":
+		microservicesCmd(*quick)
+	case "lammps":
+		lammpsCmd(*quick)
+	case "all":
+		matmulCmd(*quick)
+		choleskyCmd(*quick)
+		microservicesCmd(*quick)
+		lammpsCmd(*quick)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: uschedsim {machine|matmul|cholesky|microservices|lammps|all} [-quick]")
+}
+
+func timed(name string, fn func()) {
+	start := time.Now()
+	fmt.Printf("==== %s ====\n", name)
+	fn()
+	fmt.Printf("(host time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+}
+
+func machineCmd() {
+	cfg := hw.MareNostrum5()
+	fmt.Printf("Machine: %s (paper Table 1)\n", cfg.Name)
+	fmt.Printf("  Sockets:          %d\n", cfg.Topo.Sockets)
+	fmt.Printf("  Cores/socket:     %d (total %d)\n", cfg.Topo.CoresPerSocket, cfg.Topo.Cores())
+	fmt.Printf("  NUMA nodes:       %d\n", cfg.Topo.NUMANodes())
+	fmt.Printf("  Socket bandwidth: %.0f GB/s\n", cfg.Mem.SocketBandwidth)
+	fmt.Printf("  Core dgemm rate:  %.0f GFLOP/s\n", cfg.CoreGFLOPS)
+	fmt.Printf("  Context switch:   %v\n", cfg.Costs.ContextSwitch)
+	fmt.Printf("  Migration (socket): %v\n", cfg.Costs.MigrationCrossSocket)
+}
+
+func matmulCmd(quick bool) {
+	cfg := experiments.DefaultFigure3()
+	if quick {
+		cfg = experiments.QuickFigure3()
+	}
+	timed("Figure 3: nested-runtime matmul heatmaps", func() {
+		fmt.Print(experiments.RunFigure3(cfg).Render())
+	})
+}
+
+func choleskyCmd(quick bool) {
+	cfg := experiments.DefaultTable2()
+	if quick {
+		cfg = experiments.QuickTable2()
+	}
+	timed("Table 2: Cholesky runtime compositions", func() {
+		fmt.Print(experiments.RunTable2(cfg).Render())
+	})
+}
+
+func microservicesCmd(quick bool) {
+	cfg := experiments.DefaultFigure4()
+	if quick {
+		cfg = experiments.QuickFigure4()
+	}
+	timed("Figure 4: AI microservices", func() {
+		fmt.Print(experiments.RunFigure4(cfg).Render())
+	})
+}
+
+func lammpsCmd(quick bool) {
+	cfg := experiments.DefaultFigure5()
+	if quick {
+		cfg = experiments.QuickFigure5()
+	}
+	timed("Figure 5: LAMMPS + DeePMD-kit ensembles", func() {
+		res := experiments.RunFigure5(cfg)
+		fmt.Print(res.Render())
+		fmt.Print(res.RenderBWTrace(md.SchedCoopNode, 30))
+	})
+}

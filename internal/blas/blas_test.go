@@ -1,0 +1,157 @@
+package blas
+
+import (
+	"testing"
+
+	"repro/internal/glibc"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/rt/omp"
+	"repro/internal/sim"
+)
+
+func runApp(t *testing.T, cores int, usf bool, app func(l *glibc.Lib)) *kernel.Kernel {
+	t.Helper()
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = cores
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	if _, err := glibc.StartProcess(k, "app", glibc.Options{USF: usf}, app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestDgemmScalesWithSize(t *testing.T) {
+	var t512, t1024 sim.Duration
+	runApp(t, 4, false, func(l *glibc.Lib) {
+		b := New(l, Config{Impl: OpenBLAS, Threads: 1, YieldInBarrier: true})
+		s := l.K.Eng.Now()
+		b.Dgemm(512, 512, 512)
+		t512 = l.K.Eng.Now().Sub(s)
+		s = l.K.Eng.Now()
+		b.Dgemm(1024, 1024, 1024)
+		t1024 = l.K.Eng.Now().Sub(s)
+	})
+	ratio := float64(t1024) / float64(t512)
+	if ratio < 6 || ratio > 10 {
+		t.Fatalf("1024/512 time ratio = %.2f, want ~8 (cubic flops)", ratio)
+	}
+}
+
+func TestDgemmParallelSpeedup(t *testing.T) {
+	var t1, t4 sim.Duration
+	runApp(t, 4, false, func(l *glibc.Lib) {
+		b1 := New(l, Config{Impl: OpenBLAS, Threads: 1, YieldInBarrier: true})
+		s := l.K.Eng.Now()
+		b1.Dgemm(1024, 1024, 1024)
+		t1 = l.K.Eng.Now().Sub(s)
+	})
+	runApp(t, 4, false, func(l *glibc.Lib) {
+		r := omp.New(l, omp.Config{NumThreads: 4, WaitPolicy: omp.WaitPassive})
+		b4 := New(l, Config{Impl: OpenBLAS, Backend: BackendOpenMP, Threads: 4, OMP: r, YieldInBarrier: true})
+		s := l.K.Eng.Now()
+		b4.Dgemm(1024, 1024, 1024)
+		t4 = l.K.Eng.Now().Sub(s)
+		r.Shutdown()
+	})
+	speedup := float64(t1) / float64(t4)
+	if speedup < 2.5 {
+		t.Fatalf("4-thread dgemm speedup = %.2f, want >2.5", speedup)
+	}
+}
+
+func TestPthreadBackendCreatesThreadsPerCall(t *testing.T) {
+	k := runApp(t, 4, false, func(l *glibc.Lib) {
+		b := New(l, Config{Impl: BLIS, Backend: BackendPthread, Threads: 4, YieldInBarrier: true})
+		for i := 0; i < 5; i++ {
+			b.Dgemm(512, 512, 512)
+		}
+		if l.Stats.ThreadsCreated != 15 {
+			t.Errorf("pthreads created = %d, want 15 (3 per call, 5 calls)", l.Stats.ThreadsCreated)
+		}
+	})
+	if k.Stats.ThreadsCreated < 15 {
+		t.Fatalf("kernel threads = %d; pthread backend must churn threads", k.Stats.ThreadsCreated)
+	}
+}
+
+func TestPthreadBackendWithUSFCacheReusesThreads(t *testing.T) {
+	// Under glibcv the same churny pthread backend hits the thread
+	// cache: far fewer kernel threads get created (§4.3.1, the 4x
+	// effect of Table 2's pth rows).
+	k := runApp(t, 4, true, func(l *glibc.Lib) {
+		b := New(l, Config{Impl: BLIS, Backend: BackendPthread, Threads: 4, YieldInBarrier: true})
+		for i := 0; i < 5; i++ {
+			b.Dgemm(512, 512, 512)
+		}
+		if l.Stats.CacheHits == 0 {
+			t.Error("no thread-cache hits under glibcv")
+		}
+	})
+	if k.Stats.ThreadsCreated > 8 {
+		t.Fatalf("kernel threads = %d; glibcv cache should reuse (~4)", k.Stats.ThreadsCreated)
+	}
+}
+
+func TestEfficiencyDropsForSmallBlocks(t *testing.T) {
+	runApp(t, 2, false, func(l *glibc.Lib) {
+		b := New(l, Config{Impl: OpenBLAS, Threads: 1, YieldInBarrier: true})
+		// Time per flop must be worse for 48³ than for 1024³.
+		s := l.K.Eng.Now()
+		b.Dgemm(48, 48, 48)
+		tSmall := float64(l.K.Eng.Now().Sub(s)) / (2 * 48 * 48 * 48)
+		s = l.K.Eng.Now()
+		b.Dgemm(1024, 1024, 1024)
+		tBig := float64(l.K.Eng.Now().Sub(s)) / (2 * 1024 * 1024 * 1024)
+		if tSmall < tBig*2 {
+			t.Errorf("small-block time/flop %.4g vs large %.4g: granularity penalty missing", tSmall, tBig)
+		}
+	})
+}
+
+func TestOtherKernels(t *testing.T) {
+	runApp(t, 2, false, func(l *glibc.Lib) {
+		b := New(l, Config{Impl: OpenBLAS, Threads: 2, YieldInBarrier: true})
+		s := l.K.Eng.Now()
+		b.Dpotrf(512)
+		b.Dtrsm(512, 512)
+		b.Dsyrk(512, 512)
+		if l.K.Eng.Now() == s {
+			t.Fatal("kernels consumed no time")
+		}
+		if b.Calls != 3 {
+			t.Fatalf("calls = %d", b.Calls)
+		}
+	})
+}
+
+func TestBandwidthDemandPropagates(t *testing.T) {
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 2
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	var peak float64
+	k.BWSample = func(at sim.Time, socket int, used float64) {
+		if used > peak {
+			peak = used
+		}
+	}
+	if _, err := glibc.StartProcess(k, "app", glibc.Options{}, func(l *glibc.Lib) {
+		b := New(l, Config{Impl: OpenBLAS, Threads: 1, YieldInBarrier: true, BWPerThread: 30})
+		b.Dgemm(512, 512, 512)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if peak != 30 {
+		t.Fatalf("peak bandwidth = %v, want 30", peak)
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stack"
+	"repro/internal/workloads/inference"
+	"repro/internal/workloads/md"
+)
+
+func TestFigure3QuickSweep(t *testing.T) {
+	cfg := QuickFigure3()
+	cfg.TaskSizes = []int{1024, 512}
+	cfg.OMPThreads = []int{2, 8}
+	res := RunFigure3(cfg)
+	for _, mode := range cfg.Modes {
+		grid := res.Cells[mode]
+		if len(grid) != 2 || len(grid[0]) != 2 {
+			t.Fatalf("%v grid shape wrong", mode)
+		}
+	}
+	// Baseline cells must carry real throughput.
+	for _, row := range res.Cells[stack.ModeBaseline] {
+		for _, c := range row {
+			if !c.TimedOut && c.GFLOPS <= 0 {
+				t.Fatalf("empty baseline cell %+v", c)
+			}
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Baseline performance", "sched_coop speedup", "manual speedup", "original speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3SpeedupShape(t *testing.T) {
+	// The oversubscribed corner must favour SCHED_COOP; the underused
+	// corner must be near 1.0 (Fig. 3's gradient).
+	cfg := QuickFigure3()
+	cfg.TaskSizes = []int{1024, 512}
+	cfg.OMPThreads = []int{1, 8}
+	res := RunFigure3(cfg)
+	under := res.Speedup(stack.ModeCoop, 0, 0) // 4 tasks x 1 thread on 16 cores
+	over := res.Speedup(stack.ModeCoop, 1, 1)  // 16 tasks x 8 threads
+	if under < 0.8 || under > 1.25 {
+		t.Fatalf("underused speedup = %.2f, want ~1.0", under)
+	}
+	if over <= under {
+		t.Fatalf("oversubscribed speedup %.2f <= underused %.2f; gradient missing", over, under)
+	}
+}
+
+func TestTable2QuickSweep(t *testing.T) {
+	cfg := QuickTable2()
+	res := RunTable2(cfg)
+	if len(res.Entries) != len(cfg.Combos)*len(cfg.Degrees) {
+		t.Fatalf("entries = %d", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if e.Baseline.TimedOut || e.Coop.TimedOut {
+			t.Fatalf("%v/%v %s timed out", e.Combo.Outer, e.Combo.Inner, e.Degree.Name)
+		}
+		if e.Speedup() <= 0 {
+			t.Fatalf("no speedup computed for %+v", e.Combo)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "tbb") || !strings.Contains(out, "blis") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+}
+
+func TestTable2PthRowsGainMost(t *testing.T) {
+	// Table 2's pattern: the pth-backend rows gain more from
+	// SCHED_COOP than the OpenMP-backend rows at the same high degree.
+	cfg := QuickTable2()
+	res := RunTable2(cfg)
+	high := func(e Table2Entry) bool { return e.Degree.Name == "High" }
+	var ompGain, pthGain float64
+	var nOmp, nPth int
+	for _, e := range res.Entries {
+		if !high(e) {
+			continue
+		}
+		if e.Combo.Inner == 2 { // InnerPth
+			pthGain += e.Speedup()
+			nPth++
+		} else {
+			ompGain += e.Speedup()
+			nOmp++
+		}
+	}
+	ompGain /= float64(nOmp)
+	pthGain /= float64(nPth)
+	if pthGain <= ompGain {
+		t.Fatalf("pth mean speedup %.2f <= omp %.2f; thread-churn advantage missing", pthGain, ompGain)
+	}
+}
+
+func TestFigure4QuickSweep(t *testing.T) {
+	cfg := QuickFigure4()
+	res := RunFigure4(cfg)
+	if len(res.Points) != len(cfg.Schemes)*len(cfg.Rates) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.TimedOut {
+			t.Fatalf("%v@%.2f timed out", p.Scheme, p.Rate)
+		}
+	}
+	if len(res.Timelines[inference.Coop]) == 0 {
+		t.Fatal("no coop timeline recorded")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Mean latency") || !strings.Contains(out, "Throughput") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestFigure5QuickSweep(t *testing.T) {
+	cfg := QuickFigure5()
+	res := RunFigure5(cfg)
+	if len(res.Entries) != 7 {
+		t.Fatalf("entries = %d, want 7 scenarios", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if e.TimedOut {
+			t.Fatalf("%v timed out", e.Scenario)
+		}
+	}
+	// Exclusive achieves the best per-ensemble rate (Fig. 5a).
+	ex := res.Entry(md.Exclusive)
+	for _, e := range res.Entries {
+		if e.Scenario == md.Exclusive {
+			continue
+		}
+		if e.PerEnsemble[0] > ex.PerEnsemble[0]*1.05 {
+			t.Fatalf("%v per-ensemble %.1f beats exclusive %.1f", e.Scenario, e.PerEnsemble[0], ex.PerEnsemble[0])
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "exclusive") || !strings.Contains(out, "schedcoop_node") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+	if res.RenderBWTrace(md.SchedCoopNode, 20) == "" {
+		t.Fatal("bandwidth trace empty")
+	}
+}

@@ -1,0 +1,161 @@
+// Package experiments drives the paper's tables and figures: each Run*
+// function sweeps the corresponding parameter space and returns typed
+// results that cmd/uschedsim renders in the paper's shape and
+// bench_test.go regenerates.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/workloads/matmul"
+)
+
+// Figure3Config parameterises the §5.3 matmul heatmap sweep.
+type Figure3Config struct {
+	Machine hw.Config
+	// N is the matrix dimension (paper 32768; scaled default 8192).
+	N int
+	// TaskSizes are the heatmap rows (largest first, like the paper).
+	TaskSizes []int
+	// OMPThreads are the heatmap columns.
+	OMPThreads []int
+	// Modes to evaluate (paper: Baseline, Manual, SCHED_COOP, Original).
+	Modes   []stack.Mode
+	Reps    int
+	Horizon sim.Duration
+	Seed    uint64
+}
+
+// DefaultFigure3 returns the scaled sweep: N=8192 on the full 112-core
+// machine, rows/columns matching the paper's shape.
+func DefaultFigure3() Figure3Config {
+	return Figure3Config{
+		Machine:    hw.MareNostrum5(),
+		N:          8192,
+		TaskSizes:  []int{8192, 4096, 2048, 1024, 512},
+		OMPThreads: []int{1, 2, 4, 8, 14, 28, 56},
+		Modes:      []stack.Mode{stack.ModeBaseline, stack.ModeManual, stack.ModeCoop, stack.ModeOriginal},
+		Reps:       1,
+		Horizon:    120 * sim.Second,
+		Seed:       3,
+	}
+}
+
+// QuickFigure3 returns a small sweep for tests and benches.
+func QuickFigure3() Figure3Config {
+	return Figure3Config{
+		Machine:    hw.DualSocket16(),
+		N:          2048,
+		TaskSizes:  []int{2048, 1024, 512},
+		OMPThreads: []int{1, 2, 4, 8},
+		Modes:      []stack.Mode{stack.ModeBaseline, stack.ModeManual, stack.ModeCoop, stack.ModeOriginal},
+		Reps:       1,
+		Horizon:    5 * sim.Second,
+		Seed:       3,
+	}
+}
+
+// Figure3Cell is one heatmap entry.
+type Figure3Cell struct {
+	TaskSize   int
+	OMPThreads int
+	matmul.Result
+}
+
+// Figure3Result holds the full sweep: Cells[mode][row][col].
+type Figure3Result struct {
+	Config Figure3Config
+	Cells  map[stack.Mode][][]Figure3Cell
+}
+
+// RunFigure3 executes the sweep.
+func RunFigure3(cfg Figure3Config) *Figure3Result {
+	out := &Figure3Result{Config: cfg, Cells: make(map[stack.Mode][][]Figure3Cell)}
+	for _, mode := range cfg.Modes {
+		grid := make([][]Figure3Cell, len(cfg.TaskSizes))
+		for ri, ts := range cfg.TaskSizes {
+			row := make([]Figure3Cell, len(cfg.OMPThreads))
+			for ci, th := range cfg.OMPThreads {
+				res := matmul.Run(matmul.Config{
+					Machine:    cfg.Machine,
+					Mode:       mode,
+					N:          cfg.N,
+					TaskSize:   ts,
+					OMPThreads: th,
+					Reps:       cfg.Reps,
+					Horizon:    cfg.Horizon,
+					Seed:       cfg.Seed,
+				})
+				row[ci] = Figure3Cell{TaskSize: ts, OMPThreads: th, Result: res}
+			}
+			grid[ri] = row
+		}
+		out.Cells[mode] = grid
+	}
+	return out
+}
+
+// Speedup returns cell-wise mode/baseline GFLOPS ratio (0 where either
+// timed out).
+func (r *Figure3Result) Speedup(mode stack.Mode, row, col int) float64 {
+	base := r.Cells[stack.ModeBaseline][row][col]
+	m := r.Cells[mode][row][col]
+	if base.TimedOut || m.TimedOut || base.GFLOPS == 0 {
+		return 0
+	}
+	return m.GFLOPS / base.GFLOPS
+}
+
+// Render prints the four heatmaps in the paper's layout (performance for
+// Baseline, element-wise speedups for the rest; "—" marks timeouts).
+func (r *Figure3Result) Render() string {
+	var sb strings.Builder
+	cfg := r.Config
+	header := func(title string) {
+		fmt.Fprintf(&sb, "\n%s\n%17s", title, "tasks\\omp")
+		for _, thr := range cfg.OMPThreads {
+			fmt.Fprintf(&sb, "%9d", thr)
+		}
+		sb.WriteByte('\n')
+	}
+	rowLabel := func(ts int) string {
+		nb := cfg.N / ts
+		return fmt.Sprintf("%d-%d", nb*nb, ts)
+	}
+	header("a) Baseline performance (GFLOP/s)")
+	for ri, ts := range cfg.TaskSizes {
+		fmt.Fprintf(&sb, "%17s", rowLabel(ts))
+		for ci := range cfg.OMPThreads {
+			c := r.Cells[stack.ModeBaseline][ri][ci]
+			if c.TimedOut {
+				sb.WriteString(fmt.Sprintf("%9s", "—"))
+			} else {
+				fmt.Fprintf(&sb, "%9.0f", c.GFLOPS)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	for _, mode := range cfg.Modes {
+		if mode == stack.ModeBaseline {
+			continue
+		}
+		header(fmt.Sprintf("%s speedup vs baseline", mode))
+		for ri, ts := range cfg.TaskSizes {
+			fmt.Fprintf(&sb, "%17s", rowLabel(ts))
+			for ci := range cfg.OMPThreads {
+				s := r.Speedup(mode, ri, ci)
+				if s == 0 {
+					sb.WriteString(fmt.Sprintf("%9s", "—"))
+				} else {
+					fmt.Fprintf(&sb, "%9.2f", s)
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

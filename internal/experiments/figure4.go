@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workloads/inference"
+)
+
+// Figure4Config parameterises the §5.5 microservices sweep.
+type Figure4Config struct {
+	Machine  hw.Config
+	Rates    []float64
+	Schemes  []inference.Scheme
+	Requests int
+	Batches  int
+	Scale    float64
+	Models   []inference.Model
+	// TimelineRate is the rate whose per-request timeline is recorded
+	// (paper: 0.33).
+	TimelineRate float64
+	Horizon      sim.Duration
+	Seed         uint64
+}
+
+// PaperRates are Fig. 4's x-axis request rates.
+func PaperRates() []float64 {
+	return []float64{0.11, 0.12, 0.14, 0.17, 0.2, 0.25, 0.33, 0.5, 1.0}
+}
+
+// AllSchemes lists Fig. 4's five schemes.
+func AllSchemes() []inference.Scheme {
+	return []inference.Scheme{
+		inference.BlEq, inference.BlOpt, inference.BlNone,
+		inference.BlNoneSeq, inference.Coop,
+	}
+}
+
+// DefaultFigure4 returns the paper-shaped configuration at 20% scale
+// (works and rates scaled together, preserving the load factor).
+func DefaultFigure4() Figure4Config {
+	return Figure4Config{
+		Machine:      hw.MareNostrum5(),
+		Rates:        PaperRates(),
+		Schemes:      AllSchemes(),
+		Requests:     28,
+		Batches:      8,
+		Scale:        0.2,
+		TimelineRate: 0.33,
+		Horizon:      4000 * sim.Second,
+		Seed:         9,
+	}
+}
+
+// QuickFigure4 is a fast, small variant.
+func QuickFigure4() Figure4Config {
+	models := []inference.Model{
+		{Name: "llama", Work: 5770 * sim.Millisecond, SerialFrac: 0.06, Threads: 8, OptShare: 0.64},
+		{Name: "gpt2", Work: 1010 * sim.Millisecond, SerialFrac: 0.06, Threads: 4, OptShare: 0.21},
+		{Name: "roberta", Work: 676 * sim.Millisecond, SerialFrac: 0.06, Threads: 4, OptShare: 0.14},
+	}
+	return Figure4Config{
+		Machine:      hw.DualSocket16(),
+		Rates:        []float64{0.33, 1.0},
+		Schemes:      AllSchemes(),
+		Requests:     8,
+		Batches:      4,
+		Scale:        0.2,
+		Models:       models,
+		TimelineRate: 0.33,
+		Horizon:      4000 * sim.Second,
+		Seed:         9,
+	}
+}
+
+// Figure4Point is one (scheme, rate) measurement.
+type Figure4Point struct {
+	Scheme inference.Scheme
+	Rate   float64
+	inference.Result
+}
+
+// Figure4Result holds the sweep plus the rate-0.33 timelines.
+type Figure4Result struct {
+	Config Figure4Config
+	Points []Figure4Point
+	// Timelines maps scheme -> per-request trace at TimelineRate.
+	Timelines map[inference.Scheme][]inference.RequestTrace
+}
+
+// RunFigure4 executes the sweep.
+func RunFigure4(cfg Figure4Config) *Figure4Result {
+	out := &Figure4Result{Config: cfg, Timelines: make(map[inference.Scheme][]inference.RequestTrace)}
+	for _, scheme := range cfg.Schemes {
+		for _, rate := range cfg.Rates {
+			res := inference.Run(inference.Config{
+				Machine:  cfg.Machine,
+				Scheme:   scheme,
+				Rate:     rate,
+				Requests: cfg.Requests,
+				Batches:  cfg.Batches,
+				Scale:    cfg.Scale,
+				Models:   cfg.Models,
+				Horizon:  cfg.Horizon,
+				Seed:     cfg.Seed,
+			})
+			out.Points = append(out.Points, Figure4Point{Scheme: scheme, Rate: rate, Result: res})
+			if rate == cfg.TimelineRate {
+				out.Timelines[scheme] = res.Timeline
+			}
+		}
+	}
+	return out
+}
+
+// Point returns the measurement for (scheme, rate), or nil.
+func (r *Figure4Result) Point(s inference.Scheme, rate float64) *Figure4Point {
+	for i := range r.Points {
+		if r.Points[i].Scheme == s && r.Points[i].Rate == rate {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// Render prints latency and throughput tables in Fig. 4's shape.
+func (r *Figure4Result) Render() string {
+	var sb strings.Builder
+	write := func(title string, val func(p *Figure4Point) string) {
+		fmt.Fprintf(&sb, "\n%s\n%14s", title, "scheme\\rate")
+		for _, rate := range r.Config.Rates {
+			fmt.Fprintf(&sb, "%9.2f", rate)
+		}
+		sb.WriteByte('\n')
+		for _, s := range r.Config.Schemes {
+			fmt.Fprintf(&sb, "%14s", s)
+			for _, rate := range r.Config.Rates {
+				p := r.Point(s, rate)
+				if p == nil || p.TimedOut {
+					fmt.Fprintf(&sb, "%9s", "—")
+				} else {
+					fmt.Fprintf(&sb, "%9s", val(p))
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	write("Mean latency (s)", func(p *Figure4Point) string {
+		return fmt.Sprintf("%.1f", p.Stats.Mean.Seconds())
+	})
+	write("Throughput (req/s)", func(p *Figure4Point) string {
+		return fmt.Sprintf("%.3f", p.Throughput)
+	})
+	if tl, ok := r.Timelines[inferenceCoop()]; ok && len(tl) > 0 {
+		fmt.Fprintf(&sb, "\nPer-request timeline at rate %.2f (sched_coop): submit -> complete (s)\n", r.Config.TimelineRate)
+		for _, tr := range tl {
+			fmt.Fprintf(&sb, "  req %2d: %8.1f -> %8.1f\n", tr.ID, tr.Submitted.Seconds(), tr.Completed.Seconds())
+		}
+	}
+	return sb.String()
+}
+
+func inferenceCoop() inference.Scheme { return inference.Coop }

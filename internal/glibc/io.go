@@ -1,0 +1,26 @@
+package glibc
+
+import "repro/internal/sim"
+
+// BlockingIO models a blocking I/O system call (disk read, network
+// receive) that completes after d of wall time without consuming CPU.
+//
+// Under the standard backend the thread simply sleeps in the kernel and
+// the core is free. Under glibcv the call exposes the paper's §5.6
+// limitation: USF does not intercept I/O syscalls, so the worker blocks
+// while still owning its nOS-V core slot and the core stalls for the
+// duration. Enabling the TASIO extension (Options.TaskAwareIO — the
+// paper's §7 future work, after Roca et al.'s Task-Aware Storage I/O
+// library) routes the wait through nosv_waitfor instead: the task
+// releases its core, another task runs, and the task is resubmitted when
+// the I/O completes.
+func (l *Lib) BlockingIO(d sim.Duration) {
+	self := l.Self()
+	if l.Inst != nil && l.TaskAwareIO {
+		l.Inst.Waitfor(self.task, d)
+		return
+	}
+	// Un-intercepted blocking syscall: under glibcv the nOS-V slot stays
+	// occupied (the scheduler believes the task is still running).
+	self.KT.Nanosleep(d)
+}

@@ -1,0 +1,192 @@
+package glibc
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// ioStack runs two coop tasks on a single core, each doing compute + I/O,
+// and returns the makespan. With TASIO the I/O waits overlap the other
+// task's compute; without, the core stalls during I/O (§5.6).
+func ioStack(t *testing.T, tasio bool) sim.Time {
+	t.Helper()
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	var makespan sim.Time
+	mustStart(t, k, "app", Options{USF: true, TaskAwareIO: tasio}, func(l *Lib) {
+		var pts []*Pthread
+		for i := 0; i < 2; i++ {
+			pts = append(pts, l.PthreadCreate("w", func() {
+				for j := 0; j < 4; j++ {
+					l.Compute(2 * sim.Millisecond)
+					l.BlockingIO(2 * sim.Millisecond)
+				}
+			}))
+		}
+		for _, pt := range pts {
+			l.PthreadJoin(pt)
+		}
+		makespan = k.Eng.Now()
+	})
+	mustRun(t, eng)
+	return makespan
+}
+
+func TestTASIOOverlapsIOWithCompute(t *testing.T) {
+	without := ioStack(t, false)
+	with := ioStack(t, true)
+	// Without TASIO: each task's I/O stalls the single nOS-V slot, so
+	// the two tasks fully serialise: ~2*(4*(2+2)) = 32ms.
+	// With TASIO: I/O of one task overlaps compute of the other:
+	// ~4*(2+2)+2 = ~18ms.
+	if with >= without {
+		t.Fatalf("TASIO makespan %v >= plain %v; I/O not overlapped", with, without)
+	}
+	if without < sim.Time(30*sim.Millisecond) {
+		t.Fatalf("plain USF makespan %v; I/O stall (core held) not modelled", without)
+	}
+	if with > sim.Time(24*sim.Millisecond) {
+		t.Fatalf("TASIO makespan %v too slow; cores not recycled", with)
+	}
+}
+
+func TestBlockingIOStandardBackendFreesCore(t *testing.T) {
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	var makespan sim.Time
+	mustStart(t, k, "app", Options{}, func(l *Lib) {
+		var pts []*Pthread
+		for i := 0; i < 2; i++ {
+			pts = append(pts, l.PthreadCreate("w", func() {
+				for j := 0; j < 4; j++ {
+					l.Compute(2 * sim.Millisecond)
+					l.BlockingIO(2 * sim.Millisecond)
+				}
+			}))
+		}
+		for _, pt := range pts {
+			l.PthreadJoin(pt)
+		}
+		makespan = k.Eng.Now()
+	})
+	mustRun(t, eng)
+	// The kernel overlaps one thread's sleep with the other's compute.
+	if makespan > sim.Time(26*sim.Millisecond) {
+		t.Fatalf("standard backend makespan %v; sleep must free the core", makespan)
+	}
+}
+
+func TestRWLockSharedReaders(t *testing.T) {
+	forBothBackends(t, 4, func(t *testing.T, eng *sim.Engine, k *kernel.Kernel, opts Options) {
+		var concurrent, maxConcurrent int
+		mustStart(t, k, "app", opts, func(l *Lib) {
+			rw := l.NewRWLock()
+			var pts []*Pthread
+			for i := 0; i < 4; i++ {
+				pts = append(pts, l.PthreadCreate("r", func() {
+					rw.RLock()
+					concurrent++
+					if concurrent > maxConcurrent {
+						maxConcurrent = concurrent
+					}
+					l.Compute(2 * sim.Millisecond)
+					concurrent--
+					rw.RUnlock()
+				}))
+			}
+			for _, pt := range pts {
+				l.PthreadJoin(pt)
+			}
+		})
+		mustRun(t, eng)
+		if maxConcurrent < 2 {
+			t.Fatalf("maxConcurrent readers = %d, want >= 2", maxConcurrent)
+		}
+	})
+}
+
+func TestRWLockWriterExclusion(t *testing.T) {
+	forBothBackends(t, 4, func(t *testing.T, eng *sim.Engine, k *kernel.Kernel, opts Options) {
+		writing, violation := false, false
+		mustStart(t, k, "app", opts, func(l *Lib) {
+			rw := l.NewRWLock()
+			var pts []*Pthread
+			for i := 0; i < 2; i++ {
+				pts = append(pts, l.PthreadCreate("w", func() {
+					for j := 0; j < 3; j++ {
+						rw.Lock()
+						if writing {
+							violation = true
+						}
+						writing = true
+						l.Compute(500 * sim.Microsecond)
+						writing = false
+						rw.Unlock()
+					}
+				}))
+			}
+			for i := 0; i < 3; i++ {
+				pts = append(pts, l.PthreadCreate("r", func() {
+					for j := 0; j < 3; j++ {
+						rw.RLock()
+						if writing {
+							violation = true
+						}
+						l.Compute(300 * sim.Microsecond)
+						rw.RUnlock()
+					}
+				}))
+			}
+			for _, pt := range pts {
+				l.PthreadJoin(pt)
+			}
+		})
+		mustRun(t, eng)
+		if violation {
+			t.Fatal("reader or writer overlapped an active writer")
+		}
+	})
+}
+
+func TestRWLockWriterNotStarved(t *testing.T) {
+	forBothBackends(t, 4, func(t *testing.T, eng *sim.Engine, k *kernel.Kernel, opts Options) {
+		var writerDone sim.Time
+		mustStart(t, k, "app", opts, func(l *Lib) {
+			rw := l.NewRWLock()
+			var pts []*Pthread
+			// A stream of readers...
+			for i := 0; i < 4; i++ {
+				pts = append(pts, l.PthreadCreate("r", func() {
+					for j := 0; j < 10; j++ {
+						rw.RLock()
+						l.Compute(500 * sim.Microsecond)
+						rw.RUnlock()
+					}
+				}))
+			}
+			// ...must not starve this writer indefinitely.
+			pts = append(pts, l.PthreadCreate("w", func() {
+				l.Compute(1 * sim.Millisecond) // arrive amid readers
+				rw.Lock()
+				writerDone = k.Eng.Now()
+				rw.Unlock()
+			}))
+			for _, pt := range pts {
+				l.PthreadJoin(pt)
+			}
+		})
+		mustRun(t, eng)
+		if writerDone == 0 || writerDone > sim.Time(10*sim.Millisecond) {
+			t.Fatalf("writer acquired at %v; writer preference missing", writerDone)
+		}
+	})
+}

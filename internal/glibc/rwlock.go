@@ -1,0 +1,93 @@
+package glibc
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/nosv"
+)
+
+// RWLock is pthread_rwlock_t: shared readers, exclusive writers, with
+// writer preference (a waiting writer blocks new readers, the glibc
+// PTHREAD_RWLOCK_PREFER_WRITER_NONRECURSIVE_NP shape that avoids writer
+// starvation). The standard backend parks on a futex; glibcv parks tasks
+// in FIFO queues and hands ownership over directly.
+type RWLock struct {
+	lib *Lib
+
+	readers  int
+	writer   bool
+	writersQ int // writers waiting (blocks new readers)
+	f        *kernel.Futex
+	readQ    []*nosv.Task
+	writeQ   []*nosv.Task
+}
+
+// NewRWLock returns an initialised rwlock.
+func (l *Lib) NewRWLock() *RWLock {
+	return &RWLock{lib: l, f: l.K.NewFutex()}
+}
+
+// RLock acquires the lock shared.
+func (rw *RWLock) RLock() {
+	pt := rw.lib.Self()
+	for rw.writer || rw.writersQ > 0 {
+		if rw.lib.Inst != nil {
+			rw.readQ = append(rw.readQ, pt.task)
+			rw.lib.Inst.Pause(pt.task)
+			continue
+		}
+		rw.f.Word = 1
+		rw.f.Wait(pt.KT, 1, -1)
+	}
+	rw.readers++
+}
+
+// RUnlock releases a shared hold.
+func (rw *RWLock) RUnlock() {
+	rw.readers--
+	if rw.readers == 0 {
+		rw.release()
+	}
+}
+
+// Lock acquires the lock exclusively.
+func (rw *RWLock) Lock() {
+	pt := rw.lib.Self()
+	rw.writersQ++
+	for rw.writer || rw.readers > 0 {
+		if rw.lib.Inst != nil {
+			rw.writeQ = append(rw.writeQ, pt.task)
+			rw.lib.Inst.Pause(pt.task)
+			continue
+		}
+		rw.f.Word = 1
+		rw.f.Wait(pt.KT, 1, -1)
+	}
+	rw.writersQ--
+	rw.writer = true
+}
+
+// Unlock releases an exclusive hold.
+func (rw *RWLock) Unlock() {
+	rw.writer = false
+	rw.release()
+}
+
+// release wakes the next holder(s): one writer first, else all readers.
+func (rw *RWLock) release() {
+	if rw.lib.Inst != nil {
+		if len(rw.writeQ) > 0 {
+			t := rw.writeQ[0]
+			rw.writeQ = rw.writeQ[1:]
+			rw.lib.Inst.Submit(t)
+			return
+		}
+		q := rw.readQ
+		rw.readQ = nil
+		for _, t := range q {
+			rw.lib.Inst.Submit(t)
+		}
+		return
+	}
+	rw.f.Word = 0
+	rw.f.Wake(1 << 30)
+}

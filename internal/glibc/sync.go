@@ -1,0 +1,294 @@
+package glibc
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/nosv"
+	"repro/internal/sim"
+)
+
+// Mutex is pthread_mutex_t. The standard backend is the classic futex
+// mutex (0 free / 1 locked / 2 contended) with barging — the shape that
+// suffers Lock-Waiter Preemption. The glibcv backend is Listing 1: a
+// per-mutex FIFO wait queue; unlock transfers ownership to the queue head
+// and submits its task.
+type Mutex struct {
+	lib *Lib
+
+	f     *kernel.Futex
+	owner *Pthread
+
+	q []*nosv.Task // glibcv wait queue
+}
+
+// NewMutex returns an initialised mutex.
+func (l *Lib) NewMutex() *Mutex {
+	return &Mutex{lib: l, f: l.K.NewFutex()}
+}
+
+// TryLock attempts the lock without blocking.
+func (m *Mutex) TryLock() bool {
+	pt := m.lib.Self()
+	if m.lib.Inst != nil {
+		if m.owner == nil {
+			m.owner = pt
+			return true
+		}
+		return false
+	}
+	if m.f.Word == 0 {
+		m.f.Word = 1
+		m.owner = pt
+		return true
+	}
+	return false
+}
+
+// Lock acquires the mutex, blocking as needed.
+func (m *Mutex) Lock() {
+	pt := m.lib.Self()
+	if m.lib.Inst != nil {
+		if m.owner == nil {
+			m.owner = pt
+			return
+		}
+		// Contended: queue our task and pause; the unlocker hands
+		// ownership over before submitting us.
+		m.q = append(m.q, pt.task)
+		m.lib.Inst.Pause(pt.task)
+		return
+	}
+	kt := pt.KT
+	if m.f.Word == 0 {
+		m.f.Word = 1
+		m.owner = pt
+		return
+	}
+	for {
+		if m.f.Word != 0 {
+			m.f.Word = 2
+			m.f.Wait(kt, 2, -1)
+		}
+		if m.f.Word == 0 {
+			m.f.Word = 2 // we may not be alone; stay conservative
+			m.owner = pt
+			return
+		}
+	}
+}
+
+// Unlock releases the mutex. Under glibcv, if waiters exist, ownership is
+// transferred directly to the first of them (no barging).
+func (m *Mutex) Unlock() {
+	if m.lib.Inst != nil {
+		if len(m.q) > 0 {
+			t := m.q[0]
+			m.q = m.q[1:]
+			m.owner = ptOf(t)
+			m.lib.Inst.Submit(t)
+			return
+		}
+		m.owner = nil
+		return
+	}
+	contended := m.f.Word == 2
+	m.f.Word = 0
+	m.owner = nil
+	if contended {
+		m.f.Wake(1)
+	}
+}
+
+// Owner returns the pthread currently holding the mutex (nil if free).
+func (m *Mutex) Owner() *Pthread { return m.owner }
+
+func ptOf(t *nosv.Task) *Pthread {
+	pt, _ := t.Worker().KT.Local[tlKey].(*Pthread)
+	return pt
+}
+
+// Cond is pthread_cond_t: a sequence-futex under the standard backend, a
+// task FIFO under glibcv.
+type Cond struct {
+	lib *Lib
+	seq *kernel.Futex
+	q   []*nosv.Task
+}
+
+// NewCond returns an initialised condition variable.
+func (l *Lib) NewCond() *Cond {
+	return &Cond{lib: l, seq: l.K.NewFutex()}
+}
+
+// Wait atomically releases m, blocks until signalled, then reacquires m.
+func (c *Cond) Wait(m *Mutex) {
+	pt := c.lib.Self()
+	if c.lib.Inst != nil {
+		c.q = append(c.q, pt.task)
+		m.Unlock()
+		c.lib.Inst.Pause(pt.task)
+		m.Lock()
+		return
+	}
+	s := c.seq.Word
+	m.Unlock()
+	c.seq.Wait(pt.KT, s, -1)
+	m.Lock()
+}
+
+// TimedWait is Wait with a timeout; it reports true if the wait timed out.
+func (c *Cond) TimedWait(m *Mutex, d sim.Duration) (timedOut bool) {
+	pt := c.lib.Self()
+	if c.lib.Inst != nil {
+		c.q = append(c.q, pt.task)
+		m.Unlock()
+		early := c.lib.Inst.Waitfor(pt.task, d)
+		if !early {
+			// Timed out: withdraw from the queue if still there.
+			for i, t := range c.q {
+				if t == pt.task {
+					copy(c.q[i:], c.q[i+1:])
+					c.q = c.q[:len(c.q)-1]
+					break
+				}
+			}
+		}
+		m.Lock()
+		return !early
+	}
+	s := c.seq.Word
+	m.Unlock()
+	res := c.seq.Wait(pt.KT, s, d)
+	m.Lock()
+	return res == kernel.WaitTimedOut
+}
+
+// Signal wakes one waiter.
+func (c *Cond) Signal() {
+	if c.lib.Inst != nil {
+		if len(c.q) > 0 {
+			t := c.q[0]
+			c.q = c.q[1:]
+			c.lib.Inst.Submit(t)
+		}
+		return
+	}
+	c.seq.Word++
+	c.seq.Wake(1)
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() {
+	if c.lib.Inst != nil {
+		q := c.q
+		c.q = nil
+		for _, t := range q {
+			c.lib.Inst.Submit(t)
+		}
+		return
+	}
+	c.seq.Word++
+	c.seq.Wake(1 << 30)
+}
+
+// Barrier is pthread_barrier_t.
+type Barrier struct {
+	lib   *Lib
+	n     int
+	count int
+	genF  *kernel.Futex
+	q     []*nosv.Task
+}
+
+// NewBarrier returns a barrier for n participants.
+func (l *Lib) NewBarrier(n int) *Barrier {
+	return &Barrier{lib: l, n: n, genF: l.K.NewFutex()}
+}
+
+// Wait blocks until n threads have arrived; the last arrival gets true
+// (PTHREAD_BARRIER_SERIAL_THREAD).
+func (b *Barrier) Wait() (serial bool) {
+	pt := b.lib.Self()
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		if b.lib.Inst != nil {
+			q := b.q
+			b.q = nil
+			for _, t := range q {
+				b.lib.Inst.Submit(t)
+			}
+		} else {
+			b.genF.Word++
+			b.genF.Wake(1 << 30)
+		}
+		return true
+	}
+	if b.lib.Inst != nil {
+		b.q = append(b.q, pt.task)
+		b.lib.Inst.Pause(pt.task)
+		return false
+	}
+	gen := b.genF.Word
+	for b.genF.Word == gen {
+		b.genF.Wait(pt.KT, gen, -1)
+	}
+	return false
+}
+
+// Sem is sem_t.
+type Sem struct {
+	lib *Lib
+	val int
+	f   *kernel.Futex
+	q   []*nosv.Task
+}
+
+// NewSem returns a semaphore with the given initial value.
+func (l *Lib) NewSem(initial int) *Sem {
+	s := &Sem{lib: l, val: initial, f: l.K.NewFutex()}
+	s.f.Word = int32(initial)
+	return s
+}
+
+// Post increments the semaphore, waking one waiter.
+func (s *Sem) Post() {
+	s.val++
+	s.f.Word = int32(s.val)
+	if s.lib.Inst != nil {
+		if len(s.q) > 0 {
+			t := s.q[0]
+			s.q = s.q[1:]
+			s.lib.Inst.Submit(t)
+		}
+		return
+	}
+	s.f.Wake(1)
+}
+
+// Wait decrements the semaphore, blocking while it is zero.
+func (s *Sem) Wait() {
+	pt := s.lib.Self()
+	for s.val == 0 {
+		if s.lib.Inst != nil {
+			s.q = append(s.q, pt.task)
+			s.lib.Inst.Pause(pt.task)
+			continue
+		}
+		s.f.Wait(pt.KT, 0, -1)
+	}
+	s.val--
+	s.f.Word = int32(s.val)
+}
+
+// TryWait decrements without blocking; reports whether it succeeded.
+func (s *Sem) TryWait() bool {
+	if s.val == 0 {
+		return false
+	}
+	s.val--
+	s.f.Word = int32(s.val)
+	return true
+}
+
+// Value returns the current count (sem_getvalue).
+func (s *Sem) Value() int { return s.val }

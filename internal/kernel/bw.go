@@ -1,0 +1,119 @@
+package kernel
+
+import "repro/internal/sim"
+
+// bwManager models the shared per-socket memory bandwidth. Running compute
+// segments register their demand; when a socket's aggregate demand exceeds
+// its sustainable bandwidth, every demanding segment on that socket slows
+// down proportionally. This is the first-order effect behind Fig. 5 of the
+// paper (co-executed MD ensembles are bandwidth-bound).
+type bwManager struct {
+	k       *Kernel
+	sockets []*socketBW
+}
+
+type socketBW struct {
+	id     int
+	demand float64           // sum of registered demands, bytes/ns
+	segs   map[*Thread]*core // running bandwidth-consuming segments
+}
+
+func newBWManager(k *Kernel) *bwManager {
+	m := &bwManager{k: k}
+	for s := 0; s < k.HW.Topo.Sockets; s++ {
+		m.sockets = append(m.sockets, &socketBW{id: s, segs: make(map[*Thread]*core)})
+	}
+	return m
+}
+
+func (m *bwManager) scale(s *socketBW) float64 {
+	cap := m.k.HW.Mem.SocketBandwidth
+	if s.demand <= cap || s.demand == 0 {
+		return 1
+	}
+	return cap / s.demand
+}
+
+// register starts accounting for t's current segment on c's socket, sets
+// the segment speed, and (re)schedules completion events for every segment
+// sharing the socket.
+func (m *bwManager) register(c *core, t *Thread) {
+	s := m.sockets[m.k.HW.Topo.SocketOf(c.id)]
+	if t.seg.bw > 0 {
+		s.demand += t.seg.bw
+		s.segs[t] = c
+		m.retimeSocket(s)
+		m.sample(s)
+		return
+	}
+	// CPU-bound segment: unaffected by the socket, time it directly.
+	t.seg.speed = 1
+	m.retime(c, t)
+}
+
+// deregister stops accounting for t's segment.
+func (m *bwManager) deregister(c *core, t *Thread) {
+	if t.seg == nil || t.seg.bw <= 0 {
+		return
+	}
+	s := m.sockets[m.k.HW.Topo.SocketOf(c.id)]
+	if _, ok := s.segs[t]; !ok {
+		return
+	}
+	delete(s.segs, t)
+	s.demand -= t.seg.bw
+	if s.demand < 0 {
+		s.demand = 0
+	}
+	m.retimeSocket(s)
+	m.sample(s)
+}
+
+// retimeSocket folds progress and recomputes speeds and completion events
+// for all bandwidth-consuming segments on the socket. Iteration is ordered
+// by tid so event scheduling stays deterministic.
+func (m *bwManager) retimeSocket(s *socketBW) {
+	sc := m.scale(s)
+	order := make([]*Thread, 0, len(s.segs))
+	for t := range s.segs {
+		order = append(order, t)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].TID < order[j-1].TID; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, t := range order {
+		t.seg.advance(m.k.Eng.Now())
+		t.seg.speed = sc
+		m.retime(s.segs[t], t)
+	}
+}
+
+// retime (re)schedules the completion event for t's running segment.
+func (m *bwManager) retime(c *core, t *Thread) {
+	seg := t.seg
+	if seg.endEv != nil {
+		seg.endEv.Cancel()
+		seg.endEv = nil
+	}
+	if !seg.running {
+		return
+	}
+	d := sim.Duration(seg.total() / seg.speed)
+	tt := t
+	cc := c
+	seg.endEv = m.k.Eng.After(d, func() { cc.onSegmentEnd(tt) })
+}
+
+// sample reports the socket's consumed bandwidth to the metrics hook.
+func (m *bwManager) sample(s *socketBW) {
+	if m.k.BWSample == nil {
+		return
+	}
+	used := s.demand
+	if cap := m.k.HW.Mem.SocketBandwidth; used > cap {
+		used = cap
+	}
+	m.k.BWSample(m.k.Eng.Now(), s.id, used)
+}

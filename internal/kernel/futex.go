@@ -1,0 +1,112 @@
+package kernel
+
+import "repro/internal/sim"
+
+// Futex is the simulated analogue of a Linux futex word: a 32-bit value
+// plus a kernel wait queue. glibc-level synchronisation objects (mutex,
+// condition variable, barrier, semaphore) are built on it exactly as in
+// the real library.
+//
+// The simulation executes one thread at a time, so Word needs no atomics;
+// the interleaving-sensitive part — who sleeps and who gets woken in what
+// order — is what the futex models.
+type Futex struct {
+	Word    int32
+	k       *Kernel
+	waiters []*Thread // FIFO
+}
+
+// NewFutex creates a futex belonging to the kernel.
+func (k *Kernel) NewFutex() *Futex { return &Futex{k: k} }
+
+// WaitResult describes how a futex wait ended.
+type WaitResult int
+
+// Futex wait outcomes.
+const (
+	WaitWoken    WaitResult = iota // woken by FutexWake
+	WaitEAGAIN                     // word changed before sleeping
+	WaitTimedOut                   // timeout expired
+)
+
+// Wait blocks the calling thread while f.Word == expect, like
+// FUTEX_WAIT. A negative timeout waits forever.
+func (f *Futex) Wait(t *Thread, expect int32, timeout sim.Duration) WaitResult {
+	t.assertCurrent()
+	k := f.k
+	t.chargeSyscall()
+	if f.Word != expect {
+		return WaitEAGAIN
+	}
+	k.Stats.FutexWaits++
+	f.waiters = append(f.waiters, t)
+	t.waitsOn = f
+	res := WaitWoken
+	if timeout >= 0 {
+		t.sleepEv = k.Eng.After(timeout, func() {
+			t.sleepEv = nil
+			if t.waitsOn == f {
+				f.remove(t)
+				res = WaitTimedOut
+				k.wake(t, true)
+			}
+		})
+	}
+	k.blockCurrent(t)
+	t.proc.Park()
+	if t.sleepEv != nil {
+		t.sleepEv.Cancel()
+		t.sleepEv = nil
+	}
+	return res
+}
+
+// Wake wakes up to n waiters (FUTEX_WAKE) and returns how many were woken.
+// It may be called from thread or event context.
+func (f *Futex) Wake(n int) int {
+	k := f.k
+	woken := 0
+	for woken < n && len(f.waiters) > 0 {
+		t := f.waiters[0]
+		f.waiters = f.waiters[1:]
+		t.waitsOn = nil
+		if t.sleepEv != nil {
+			t.sleepEv.Cancel()
+			t.sleepEv = nil
+		}
+		k.Stats.FutexWakes++
+		k.wake(t, true)
+		woken++
+	}
+	return woken
+}
+
+// Requeue wakes up to nWake waiters and moves up to nMove of the remaining
+// ones onto target's wait queue (FUTEX_CMP_REQUEUE). Used by condition
+// variable broadcast to avoid thundering herds.
+func (f *Futex) Requeue(nWake, nMove int, target *Futex) (woken, moved int) {
+	woken = f.Wake(nWake)
+	for moved < nMove && len(f.waiters) > 0 {
+		t := f.waiters[0]
+		f.waiters = f.waiters[1:]
+		t.waitsOn = target
+		target.waiters = append(target.waiters, t)
+		moved++
+	}
+	return woken, moved
+}
+
+// Waiters returns the number of threads currently asleep on the futex.
+func (f *Futex) Waiters() int { return len(f.waiters) }
+
+// remove deletes t from the wait queue (timeout or thread exit).
+func (f *Futex) remove(t *Thread) {
+	for i, x := range f.waiters {
+		if x == t {
+			copy(f.waiters[i:], f.waiters[i+1:])
+			f.waiters = f.waiters[:len(f.waiters)-1]
+			break
+		}
+	}
+	t.waitsOn = nil
+}

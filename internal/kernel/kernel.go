@@ -1,0 +1,282 @@
+// Package kernel simulates the Linux process scheduler and the kernel
+// facilities user-space scheduling builds on: an EEVDF-style weighted fair
+// class with slice-based preemption, a SCHED_RR real-time class, wake-up
+// placement, idle stealing and periodic load balancing, futexes, timers,
+// per-thread affinity, and nice priorities.
+//
+// Simulated threads are sim procs: their Go code runs in zero virtual time
+// and advances the clock only through Thread.Compute and blocking
+// syscalls, which is where all scheduling decisions are modelled.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Pid identifies a simulated process.
+type Pid int
+
+// Tid identifies a simulated thread.
+type Tid int
+
+// SchedParams are the tunables of the fair class, modelled on the Linux
+// EEVDF/CFS sysctls.
+type SchedParams struct {
+	// TargetLatency is the period over which every runnable thread on a
+	// core should run once (sched_latency).
+	TargetLatency sim.Duration
+	// MinGranularity is the smallest slice handed to a thread when a
+	// core is crowded (sched_min_granularity).
+	MinGranularity sim.Duration
+	// WakeupGranularity limits wake-up preemption of the current thread
+	// (sched_wakeup_granularity).
+	WakeupGranularity sim.Duration
+	// SleeperBonus caps how far behind min_vruntime a waking thread is
+	// placed, giving sleepers a mild latency advantage.
+	SleeperBonus sim.Duration
+	// RRQuantum is the SCHED_RR round-robin quantum.
+	RRQuantum sim.Duration
+	// BalanceInterval is the period of the load balancer. Zero disables
+	// periodic balancing (idle stealing still runs).
+	BalanceInterval sim.Duration
+	// YieldImmediate selects whether sched_yield reschedules right away
+	// when competitors exist. Linux versions differ here (§5.3 of the
+	// paper): false (the default) models the laziness of the paper's
+	// Linux 5.14 testbed, where a yield takes effect only at the next
+	// scheduler tick; true models a prompt EEVDF-style yield (used as
+	// an ablation).
+	YieldImmediate bool
+	// TickInterval is the scheduler tick: the granularity at which a
+	// lazy yield actually switches (Linux: 1 ms at CONFIG_HZ=1000).
+	TickInterval sim.Duration
+}
+
+// DefaultSchedParams returns parameters approximating a stock 112-core
+// Linux configuration.
+func DefaultSchedParams() SchedParams {
+	return SchedParams{
+		TargetLatency:     24 * sim.Millisecond,
+		MinGranularity:    3 * sim.Millisecond,
+		WakeupGranularity: 1 * sim.Millisecond,
+		SleeperBonus:      12 * sim.Millisecond,
+		RRQuantum:         100 * sim.Millisecond,
+		BalanceInterval:   4 * sim.Millisecond,
+		YieldImmediate:    false,
+		TickInterval:      1 * sim.Millisecond,
+	}
+}
+
+// Counters aggregates kernel-wide scheduling statistics.
+type Counters struct {
+	ContextSwitches int64 // thread dispatched on a core it wasn't current on
+	Preemptions     int64 // involuntary slice-expiry or wake-up preemptions
+	Migrations      int64 // dispatches on a different core than last time
+	CrossSocket     int64 // migrations that crossed a socket boundary
+	Wakeups         int64
+	FutexWaits      int64
+	FutexWakes      int64
+	Yields          int64
+	Sleeps          int64
+	Steals          int64 // idle-balance pulls
+	BalanceMoves    int64 // periodic-balance moves
+	ThreadsCreated  int64
+	ThreadsExited   int64
+}
+
+// Kernel is one simulated machine instance.
+type Kernel struct {
+	Eng    *sim.Engine
+	HW     hw.Config
+	Params SchedParams
+
+	cores   []*core
+	procs   map[Pid]*Process
+	threads map[Tid]*Thread
+	nextPid Pid
+	nextTid Tid
+
+	bw *bwManager
+
+	Stats Counters
+
+	// BWSample, when non-nil, is invoked whenever a socket's consumed
+	// bandwidth changes: (time, socket, bytes/ns actually flowing).
+	BWSample func(at sim.Time, socket int, used float64)
+
+	// Local carries machine-wide upper-layer state (e.g. the registry of
+	// nOS-V shared-memory segments), keyed by subsystem name.
+	Local map[string]any
+
+	// Tracer, when non-nil, records scheduling events (dispatches,
+	// blocks, wakes) for offline inspection.
+	Tracer *trace.Buffer
+
+	balanceEv *sim.Event
+	rrSeq     uint64 // dispatch sequence for FIFO tie-breaking
+}
+
+// New creates a kernel over the given engine and machine.
+func New(eng *sim.Engine, cfg hw.Config, params SchedParams) *Kernel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	k := &Kernel{
+		Eng:     eng,
+		HW:      cfg,
+		Params:  params,
+		procs:   make(map[Pid]*Process),
+		threads: make(map[Tid]*Thread),
+		Local:   make(map[string]any),
+	}
+	n := cfg.Topo.Cores()
+	k.cores = make([]*core, n)
+	for i := 0; i < n; i++ {
+		k.cores[i] = newCore(k, i)
+	}
+	k.bw = newBWManager(k)
+	return k
+}
+
+// NumCores returns the number of simulated cores.
+func (k *Kernel) NumCores() int { return len(k.cores) }
+
+// Process is a simulated process: a container for threads sharing a pid,
+// an environment, and a default affinity inherited by new threads.
+type Process struct {
+	PID  Pid
+	Name string
+
+	kern *Kernel
+	// UID and GID model process credentials; nOS-V only lets processes
+	// of the same user and group share a memory segment (§4.4).
+	UID, GID int
+	// Env mimics the process environment (USF_ENABLE et al.).
+	Env map[string]string
+	// DefaultAffinity is inherited by threads created in this process
+	// (the cpuset-style partitioning used by the microservices baselines).
+	DefaultAffinity Mask
+	// DefaultNice is applied to new threads.
+	DefaultNice int
+
+	threads []*Thread
+	exited  bool
+
+	// Local lets upper layers (glibc, nOS-V) attach per-process state
+	// without the kernel knowing their types.
+	Local map[string]any
+}
+
+// NewProcess creates a process.
+func (k *Kernel) NewProcess(name string) *Process {
+	k.nextPid++
+	p := &Process{
+		PID:   k.nextPid,
+		Name:  name,
+		kern:  k,
+		Env:   make(map[string]string),
+		Local: make(map[string]any),
+	}
+	k.procs[p.PID] = p
+	return p
+}
+
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.kern }
+
+// Threads returns a snapshot of the process's live threads.
+func (p *Process) Threads() []*Thread {
+	out := make([]*Thread, 0, len(p.threads))
+	for _, t := range p.threads {
+		if t.state != ThreadExited {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// LookupThread finds a thread by tid, or nil.
+func (k *Kernel) LookupThread(tid Tid) *Thread { return k.threads[tid] }
+
+// Processes returns all processes, in creation order of pid.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for pid := Pid(1); pid <= k.nextPid; pid++ {
+		if p, ok := k.procs[pid]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Current returns the thread whose code is currently executing, or nil when
+// called from event context.
+func (k *Kernel) Current() *Thread {
+	p := k.Eng.Current()
+	if p == nil {
+		return nil
+	}
+	if t, ok := threadOfProc[p]; ok && t.kern == k {
+		return t
+	}
+	return nil
+}
+
+// threadOfProc maps sim procs back to their threads. The simulator runs a
+// single proc at a time, so a plain map needs no locking.
+var threadOfProc = map[*sim.Proc]*Thread{}
+
+// CoreBusy reports whether core c currently runs a thread.
+func (k *Kernel) CoreBusy(c int) bool { return k.cores[c].curr != nil }
+
+// CoreRunnable returns the number of runnable-or-running threads associated
+// with core c.
+func (k *Kernel) CoreRunnable(c int) int {
+	n := k.cores[c].rq.len() + k.cores[c].rt.len()
+	if k.cores[c].curr != nil {
+		n++
+	}
+	return n
+}
+
+// TotalRunnable returns system-wide runnable thread count (including
+// running ones) — the oversubscription level.
+func (k *Kernel) TotalRunnable() int {
+	n := 0
+	for _, c := range k.cores {
+		n += c.rq.len() + c.rt.len()
+		if c.curr != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalBusyTime returns the sum of busy time across all cores.
+func (k *Kernel) TotalBusyTime() sim.Duration {
+	var b sim.Duration
+	for _, c := range k.cores {
+		b += c.busyAccum
+		if !c.isIdle && c.curr != nil {
+			b += k.Eng.Now().Sub(c.curr.dispatchedAt)
+		}
+	}
+	return b
+}
+
+// CoreIdleTime returns the accumulated idle time of core c.
+func (k *Kernel) CoreIdleTime(c int) sim.Duration {
+	co := k.cores[c]
+	idle := co.idleAccum
+	if co.isIdle {
+		idle += k.Eng.Now().Sub(co.idleSince)
+	}
+	return idle
+}
+
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel(%s, %d cores, %d threads)", k.HW.Name, len(k.cores), len(k.threads))
+}

@@ -1,0 +1,609 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// testKernel builds a kernel on a small machine with zeroed scheduling
+// costs so timing assertions are exact unless a test opts in to costs.
+func testKernel(t *testing.T, cfg hw.Config, withCosts bool) (*sim.Engine, *Kernel) {
+	t.Helper()
+	if !withCosts {
+		cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	}
+	eng := sim.NewEngine(1)
+	k := New(eng, cfg, DefaultSchedParams())
+	return eng, k
+}
+
+func run(t *testing.T, eng *sim.Engine) sim.Time {
+	t.Helper()
+	end, err := eng.RunAll()
+	if err != nil {
+		t.Fatalf("simulation error: %v", err)
+	}
+	return end
+}
+
+func TestSingleThreadCompute(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	var done sim.Time
+	k.SpawnThread(p, "worker", func(th *Thread) {
+		th.Compute(5 * sim.Millisecond)
+		done = eng.Now()
+	})
+	run(t, eng)
+	if done != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("compute finished at %v, want 5ms", done)
+	}
+}
+
+func TestSequentialComputesAccumulate(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	var done sim.Time
+	k.SpawnThread(p, "worker", func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Compute(1 * sim.Millisecond)
+		}
+		done = eng.Now()
+	})
+	run(t, eng)
+	if done != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("done at %v, want 10ms", done)
+	}
+}
+
+func TestParallelThreadsUseAllCores(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false) // 8 cores
+	p := k.NewProcess("app")
+	var last sim.Time
+	for i := 0; i < 8; i++ {
+		k.SpawnThread(p, "w", func(th *Thread) {
+			th.Compute(10 * sim.Millisecond)
+			if eng.Now() > last {
+				last = eng.Now()
+			}
+		})
+	}
+	run(t, eng)
+	if last != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("8 threads on 8 cores finished at %v, want 10ms (perfect parallelism)", last)
+	}
+}
+
+func TestOversubscriptionFairSharing(t *testing.T) {
+	// 2 threads on a 1-core machine; each needs 100ms of work (several
+	// slices), so both make interleaved progress and finish around
+	// 200ms, with slice-expiry preemptions observed.
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	eng, k := testKernel(t, cfg, false)
+	p := k.NewProcess("app")
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		k.SpawnThread(p, "w", func(th *Thread) {
+			th.Compute(100 * sim.Millisecond)
+			ends = append(ends, eng.Now())
+		})
+	}
+	run(t, eng)
+	if len(ends) != 2 {
+		t.Fatalf("got %d completions", len(ends))
+	}
+	if ends[1] != sim.Time(200*sim.Millisecond) {
+		t.Fatalf("second finisher at %v, want 200ms", ends[1])
+	}
+	if ends[0] <= sim.Time(100*sim.Millisecond) || ends[0] >= sim.Time(200*sim.Millisecond) {
+		t.Fatalf("first finisher at %v: threads did not time-share", ends[0])
+	}
+	if k.Stats.Preemptions == 0 {
+		t.Fatal("expected slice-expiry preemptions under oversubscription")
+	}
+}
+
+func TestNiceWeightsBiasCPUShare(t *testing.T) {
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	eng, k := testKernel(t, cfg, false)
+	p := k.NewProcess("app")
+	var hi, lo *Thread
+	hi = k.SpawnThread(p, "hi", func(th *Thread) {
+		th.SetNice(0)
+		th.Compute(400 * sim.Millisecond)
+	})
+	lo = k.SpawnThread(p, "lo", func(th *Thread) {
+		th.SetNice(10)
+		th.Compute(400 * sim.Millisecond)
+	})
+	eng.Run(sim.Time(300 * sim.Millisecond))
+	// nice 0 vs nice 10 is a ~10:1 weight ratio.
+	ratio := float64(hi.CPUTime) / float64(lo.CPUTime+1)
+	if ratio < 5 {
+		t.Fatalf("CPU ratio hi/lo = %.2f, want >5 (weight ratio ~10)", ratio)
+	}
+	_ = eng
+}
+
+func TestFutexWaitWake(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	f := k.NewFutex()
+	var wokenAt sim.Time
+	k.SpawnThread(p, "waiter", func(th *Thread) {
+		f.Word = 1
+		res := f.Wait(th, 1, -1)
+		if res != WaitWoken {
+			t.Errorf("Wait = %v, want WaitWoken", res)
+		}
+		wokenAt = eng.Now()
+	})
+	k.SpawnThread(p, "waker", func(th *Thread) {
+		th.Compute(3 * sim.Millisecond)
+		f.Word = 0
+		f.Wake(1)
+	})
+	run(t, eng)
+	if wokenAt != sim.Time(3*sim.Millisecond) {
+		t.Fatalf("woken at %v, want 3ms", wokenAt)
+	}
+}
+
+func TestFutexEAGAIN(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	f := k.NewFutex()
+	k.SpawnThread(p, "w", func(th *Thread) {
+		f.Word = 5
+		if res := f.Wait(th, 4, -1); res != WaitEAGAIN {
+			t.Errorf("Wait with stale expect = %v, want EAGAIN", res)
+		}
+	})
+	run(t, eng)
+}
+
+func TestFutexTimeout(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	f := k.NewFutex()
+	var res WaitResult
+	var at sim.Time
+	k.SpawnThread(p, "w", func(th *Thread) {
+		f.Word = 1
+		res = f.Wait(th, 1, 7*sim.Millisecond)
+		at = eng.Now()
+	})
+	run(t, eng)
+	if res != WaitTimedOut {
+		t.Fatalf("res = %v, want timeout", res)
+	}
+	if at != sim.Time(7*sim.Millisecond) {
+		t.Fatalf("timed out at %v, want 7ms", at)
+	}
+	if f.Waiters() != 0 {
+		t.Fatal("timed-out waiter still queued")
+	}
+}
+
+func TestFutexWakeFIFO(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	f := k.NewFutex()
+	f.Word = 1
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.SpawnThread(p, "w", func(th *Thread) {
+			th.Compute(sim.Duration(i+1) * sim.Microsecond) // stagger arrival
+			f.Wait(th, 1, -1)
+			order = append(order, i)
+		})
+	}
+	k.SpawnThread(p, "waker", func(th *Thread) {
+		th.Compute(1 * sim.Millisecond)
+		f.Wake(3)
+	})
+	run(t, eng)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("wake order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestNanosleep(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	var at sim.Time
+	k.SpawnThread(p, "s", func(th *Thread) {
+		th.Nanosleep(42 * sim.Millisecond)
+		at = eng.Now()
+	})
+	run(t, eng)
+	if at != sim.Time(42*sim.Millisecond) {
+		t.Fatalf("woke at %v, want 42ms", at)
+	}
+	if k.Stats.Sleeps != 1 {
+		t.Fatalf("Sleeps = %d", k.Stats.Sleeps)
+	}
+}
+
+func TestAffinityPinsThread(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	k.SpawnThread(p, "pinned", func(th *Thread) {
+		th.SetAffinity(NewMask(3))
+		for i := 0; i < 5; i++ {
+			th.Compute(1 * sim.Millisecond)
+			if th.CurrentCore() != 3 {
+				t.Errorf("running on core %d, want 3", th.CurrentCore())
+			}
+		}
+	})
+	run(t, eng)
+}
+
+func TestAffinityMigratesRunningThread(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	k.SpawnThread(p, "m", func(th *Thread) {
+		th.Compute(1 * sim.Millisecond)
+		was := th.CurrentCore()
+		th.SetAffinity(NewMask((was + 1) % 8))
+		th.Compute(1 * sim.Millisecond)
+		if th.CurrentCore() == was {
+			t.Errorf("thread did not migrate off core %d", was)
+		}
+	})
+	run(t, eng)
+	if k.Stats.Migrations == 0 {
+		t.Fatal("expected a migration")
+	}
+}
+
+func TestYieldLazyMode(t *testing.T) {
+	// The default (paper's Linux 5.14) yield does not switch
+	// immediately: a thread yielding between short computes keeps its
+	// core until the next scheduler tick.
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	eng, k := testKernel(t, cfg, false)
+	p := k.NewProcess("app")
+	var order []string
+	mk := func(name string) {
+		k.SpawnThread(p, name, func(th *Thread) {
+			for i := 0; i < 3; i++ {
+				th.Compute(10 * sim.Microsecond)
+				order = append(order, name)
+				th.Yield()
+			}
+		})
+	}
+	mk("a")
+	mk("b")
+	run(t, eng)
+	want := []string{"a", "a", "a", "b", "b", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (lazy yield)", order, want)
+		}
+	}
+}
+
+func TestYieldRotatesThreads(t *testing.T) {
+	// With the YieldImmediate ablation, yields switch right away.
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	params := DefaultSchedParams()
+	params.YieldImmediate = true
+	k := New(eng, cfg, params)
+	p := k.NewProcess("app")
+	var order []string
+	mk := func(name string) {
+		k.SpawnThread(p, name, func(th *Thread) {
+			for i := 0; i < 3; i++ {
+				th.Compute(10 * sim.Microsecond)
+				order = append(order, name)
+				th.Yield()
+			}
+		})
+	}
+	mk("a")
+	mk("b")
+	run(t, eng)
+	// With immediate yield both threads must alternate rather than one
+	// finishing all three rounds first.
+	if order[0] == order[1] && order[1] == order[2] {
+		t.Fatalf("yield did not rotate: %v", order)
+	}
+	if k.Stats.Yields == 0 {
+		t.Fatal("yields not counted")
+	}
+}
+
+func TestRRPreemptsFair(t *testing.T) {
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	eng, k := testKernel(t, cfg, false)
+	p := k.NewProcess("app")
+	var rtDone, fairDone sim.Time
+	k.SpawnThread(p, "rt", func(th *Thread) {
+		th.SetRR(10)
+		th.Nanosleep(10 * sim.Millisecond) // wake mid-fair-compute
+		th.Compute(5 * sim.Millisecond)
+		rtDone = eng.Now()
+	})
+	k.SpawnThread(p, "fair", func(th *Thread) {
+		th.Compute(50 * sim.Millisecond)
+		fairDone = eng.Now()
+	})
+	run(t, eng)
+	if rtDone != sim.Time(15*sim.Millisecond) {
+		t.Fatalf("RT finished at %v, want 15ms (immediate preemption)", rtDone)
+	}
+	if fairDone != sim.Time(55*sim.Millisecond) {
+		t.Fatalf("fair finished at %v, want 55ms", fairDone)
+	}
+}
+
+func TestIdleStealBalancesLoad(t *testing.T) {
+	// 4 threads spawned while only core selection at t=0; all land
+	// spread across the 8-core box by placement or stealing, so total
+	// runtime equals single-thread runtime.
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	var latest sim.Time
+	for i := 0; i < 8; i++ {
+		k.SpawnThread(p, "w", func(th *Thread) {
+			th.Compute(20 * sim.Millisecond)
+			if eng.Now() > latest {
+				latest = eng.Now()
+			}
+		})
+	}
+	run(t, eng)
+	if latest != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("makespan %v, want 20ms", latest)
+	}
+}
+
+func TestPeriodicBalanceSpreadsLateLoad(t *testing.T) {
+	// Pin 4 threads to core 0 initially, then release affinity: the
+	// balancer should spread them out so they finish well before the
+	// fully-serialised bound.
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	var latest sim.Time
+	for i := 0; i < 4; i++ {
+		k.SpawnThread(p, "w", func(th *Thread) {
+			th.SetAffinity(NewMask(0))
+			th.Compute(1 * sim.Millisecond)
+			th.SetAffinity(Mask{}) // unrestricted
+			th.Compute(40 * sim.Millisecond)
+			if eng.Now() > latest {
+				latest = eng.Now()
+			}
+		})
+	}
+	run(t, eng)
+	serialised := sim.Time(4 * (41 * sim.Millisecond))
+	if latest >= serialised/2 {
+		t.Fatalf("makespan %v suggests no load balancing (serial bound %v)", latest, serialised)
+	}
+}
+
+func TestBandwidthSaturationSlowsSegments(t *testing.T) {
+	cfg := hw.SmallNode() // 64 GB/s socket
+	eng, k := testKernel(t, cfg, false)
+	p := k.NewProcess("app")
+	var ends []sim.Time
+	// Two segments each demanding 48 GB/s on a 64 GB/s socket:
+	// demand 96 > cap 64, so both run at 2/3 speed: 10ms -> 15ms.
+	for i := 0; i < 2; i++ {
+		k.SpawnThread(p, "bw", func(th *Thread) {
+			th.ComputeOpts(10*sim.Millisecond, ComputeOpts{BW: 48})
+			ends = append(ends, eng.Now())
+		})
+	}
+	run(t, eng)
+	want := sim.Time(15 * sim.Millisecond)
+	for _, e := range ends {
+		if e != want {
+			t.Fatalf("bandwidth-bound segment finished at %v, want %v", e, want)
+		}
+	}
+}
+
+func TestBandwidthBelowCapRunsFullSpeed(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	var end sim.Time
+	k.SpawnThread(p, "bw", func(th *Thread) {
+		th.ComputeOpts(10*sim.Millisecond, ComputeOpts{BW: 20})
+		end = eng.Now()
+	})
+	run(t, eng)
+	if end != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("finished at %v, want 10ms", end)
+	}
+}
+
+func TestBWSampleCallback(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	var samples []float64
+	k.BWSample = func(at sim.Time, socket int, used float64) {
+		samples = append(samples, used)
+	}
+	p := k.NewProcess("app")
+	k.SpawnThread(p, "bw", func(th *Thread) {
+		th.ComputeOpts(1*sim.Millisecond, ComputeOpts{BW: 30})
+	})
+	run(t, eng)
+	if len(samples) < 2 {
+		t.Fatalf("expected at least start+end samples, got %v", samples)
+	}
+	if samples[0] != 30 || samples[len(samples)-1] != 0 {
+		t.Fatalf("samples = %v, want rise to 30 and fall to 0", samples)
+	}
+}
+
+func TestContextSwitchCostsCharged(t *testing.T) {
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	eng, k := testKernel(t, cfg, true) // real costs
+	p := k.NewProcess("app")
+	var end sim.Time
+	for i := 0; i < 2; i++ {
+		k.SpawnThread(p, "w", func(th *Thread) {
+			th.Compute(30 * sim.Millisecond)
+			if eng.Now() > end {
+				end = eng.Now()
+			}
+		})
+	}
+	run(t, eng)
+	if end <= sim.Time(60*sim.Millisecond) {
+		t.Fatalf("makespan %v should exceed 60ms due to switch costs", end)
+	}
+	if end > sim.Time(62*sim.Millisecond) {
+		t.Fatalf("makespan %v: overhead looks implausibly large", end)
+	}
+}
+
+func TestThreadExitFreesCore(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	var secondDone sim.Time
+	cfg1 := NewMask(0)
+	k.SpawnThread(p, "first", func(th *Thread) {
+		th.SetAffinity(cfg1)
+		th.Compute(5 * sim.Millisecond)
+	})
+	k.SpawnThread(p, "second", func(th *Thread) {
+		th.SetAffinity(cfg1)
+		th.Compute(5 * sim.Millisecond)
+		secondDone = eng.Now()
+	})
+	run(t, eng)
+	if k.Stats.ThreadsExited != 2 {
+		t.Fatalf("ThreadsExited = %d", k.Stats.ThreadsExited)
+	}
+	if secondDone > sim.Time(11*sim.Millisecond) {
+		t.Fatalf("second thread done at %v; core not freed promptly?", secondDone)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	runOnce := func() (sim.Time, Counters) {
+		eng := sim.NewEngine(7)
+		cfg := hw.SmallNode()
+		k := New(eng, cfg, DefaultSchedParams())
+		p := k.NewProcess("app")
+		f := k.NewFutex()
+		f.Word = 1
+		for i := 0; i < 20; i++ {
+			i := i
+			k.SpawnThread(p, "w", func(th *Thread) {
+				r := eng.Rand("w").Stream(string(rune('a' + i)))
+				for j := 0; j < 10; j++ {
+					th.Compute(sim.Duration(r.Intn(2_000_000) + 1000))
+					if r.Intn(3) == 0 {
+						th.Yield()
+					}
+				}
+			})
+		}
+		end, err := eng.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end, k.Stats
+	}
+	e1, s1 := runOnce()
+	e2, s2 := runOnce()
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v", e1, s1, e2, s2)
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	m := NewMask(0, 1, 2, 3, 8)
+	if m.String() != "0-3,8" {
+		t.Fatalf("String = %q", m.String())
+	}
+	if m.Count() != 5 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	m.Clear(8)
+	if m.Has(8) || !m.Has(2) {
+		t.Fatal("Clear/Has wrong")
+	}
+	var empty Mask
+	if !empty.Has(77) {
+		t.Fatal("empty mask must match all cores")
+	}
+	if !RangeMask(2, 5).Equal(NewMask(2, 3, 4)) {
+		t.Fatal("RangeMask/Equal wrong")
+	}
+	if FullMask(3).Count() != 3 {
+		t.Fatal("FullMask wrong")
+	}
+}
+
+func TestLHPConvoyUnderPreemption(t *testing.T) {
+	// Lock-holder preemption: many threads on one core contend a futex
+	// "lock"; when the holder gets preempted, waiters burn time. The
+	// test asserts the hold pattern still completes and preemptions
+	// occurred while the lock was held — the raw phenomenon that
+	// SCHED_COOP later removes.
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 2
+	eng, k := testKernel(t, cfg, false)
+	p := k.NewProcess("app")
+	lock := k.NewFutex()
+	acquired := 0
+	release := func() {
+		lock.Word = 0
+		lock.Wake(1)
+	}
+	acquire := func(th *Thread) {
+		for lock.Word == 1 {
+			lock.Wait(th, 1, -1)
+		}
+		lock.Word = 1
+	}
+	for i := 0; i < 6; i++ {
+		k.SpawnThread(p, "locker", func(th *Thread) {
+			for j := 0; j < 5; j++ {
+				acquire(th)
+				acquired++
+				th.Compute(8 * sim.Millisecond) // critical section
+				release()
+				th.Compute(4 * sim.Millisecond)
+			}
+		})
+	}
+	// CPU hogs that steal the core from lock holders mid critical
+	// section: the raw ingredient of lock-holder preemption.
+	for i := 0; i < 2; i++ {
+		k.SpawnThread(p, "hog", func(th *Thread) {
+			th.Compute(150 * sim.Millisecond)
+		})
+	}
+	run(t, eng)
+	if acquired != 30 {
+		t.Fatalf("acquired = %d, want 30", acquired)
+	}
+	if k.Stats.Preemptions == 0 {
+		t.Fatal("expected preemptions (8 threads on 2 cores)")
+	}
+	if k.Stats.FutexWaits == 0 {
+		t.Fatal("expected futex contention")
+	}
+}

@@ -1,0 +1,155 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mask is a CPU affinity bitmask, the simulated analogue of cpu_set_t.
+// The zero Mask is empty; schedulers treat an empty mask as "all cores".
+type Mask struct {
+	bits []uint64
+}
+
+// NewMask returns a mask with the given cores set.
+func NewMask(cores ...int) Mask {
+	var m Mask
+	for _, c := range cores {
+		m.Set(c)
+	}
+	return m
+}
+
+// FullMask returns a mask with cores 0..n-1 set.
+func FullMask(n int) Mask {
+	var m Mask
+	for c := 0; c < n; c++ {
+		m.Set(c)
+	}
+	return m
+}
+
+// RangeMask returns a mask with cores lo..hi-1 set.
+func RangeMask(lo, hi int) Mask {
+	var m Mask
+	for c := lo; c < hi; c++ {
+		m.Set(c)
+	}
+	return m
+}
+
+// Set adds core c to the mask.
+func (m *Mask) Set(c int) {
+	w := c / 64
+	for len(m.bits) <= w {
+		m.bits = append(m.bits, 0)
+	}
+	m.bits[w] |= 1 << (uint(c) % 64)
+}
+
+// Clear removes core c from the mask.
+func (m *Mask) Clear(c int) {
+	w := c / 64
+	if w < len(m.bits) {
+		m.bits[w] &^= 1 << (uint(c) % 64)
+	}
+}
+
+// Has reports whether core c is in the mask. An empty mask contains every
+// core.
+func (m Mask) Has(c int) bool {
+	if m.IsEmpty() {
+		return true
+	}
+	w := c / 64
+	if w >= len(m.bits) {
+		return false
+	}
+	return m.bits[w]&(1<<(uint(c)%64)) != 0
+}
+
+// IsEmpty reports whether no cores are set (meaning "unrestricted").
+func (m Mask) IsEmpty() bool {
+	for _, w := range m.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of cores explicitly set.
+func (m Mask) Count() int {
+	n := 0
+	for _, w := range m.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Cores returns the explicitly set cores in ascending order.
+func (m Mask) Cores() []int {
+	var out []int
+	for wi, w := range m.bits {
+		for b := 0; b < 64; b++ {
+			if w&(1<<uint(b)) != 0 {
+				out = append(out, wi*64+b)
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (m Mask) Clone() Mask {
+	out := Mask{bits: make([]uint64, len(m.bits))}
+	copy(out.bits, m.bits)
+	return out
+}
+
+// Equal reports whether two masks select the same cores.
+func (m Mask) Equal(o Mask) bool {
+	n := len(m.bits)
+	if len(o.bits) > n {
+		n = len(o.bits)
+	}
+	at := func(b []uint64, i int) uint64 {
+		if i < len(b) {
+			return b[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if at(m.bits, i) != at(o.bits, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the mask like "0-3,8".
+func (m Mask) String() string {
+	if m.IsEmpty() {
+		return "all"
+	}
+	cores := m.Cores()
+	var sb strings.Builder
+	for i := 0; i < len(cores); {
+		j := i
+		for j+1 < len(cores) && cores[j+1] == cores[j]+1 {
+			j++
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&sb, "%d-%d", cores[i], cores[j])
+		} else {
+			fmt.Fprintf(&sb, "%d", cores[i])
+		}
+		i = j + 1
+	}
+	return sb.String()
+}

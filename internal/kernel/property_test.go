@@ -1,0 +1,187 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestMaskRoundTripProperty(t *testing.T) {
+	// Property: Set then Cores returns exactly the distinct sorted
+	// input cores.
+	f := func(raw []uint8) bool {
+		var m Mask
+		want := map[int]bool{}
+		for _, c := range raw {
+			m.Set(int(c))
+			want[int(c)] = true
+		}
+		got := m.Cores()
+		if len(got) != len(want) {
+			return false
+		}
+		for i, c := range got {
+			if !want[c] {
+				return false
+			}
+			if i > 0 && got[i-1] >= c {
+				return false // must be sorted strictly
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskClearInverseProperty(t *testing.T) {
+	f := func(set, clear []uint8) bool {
+		var m Mask
+		for _, c := range set {
+			m.Set(int(c))
+		}
+		for _, c := range clear {
+			m.Clear(int(c))
+		}
+		for _, c := range clear {
+			inSet := false
+			for _, s := range set {
+				if s == c {
+					inSet = true
+				}
+			}
+			if !m.IsEmpty() && m.Has(int(c)) && inSet {
+				// cleared cores must not remain (unless mask became
+				// empty, where Has means "all")
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightTableMonotonic(t *testing.T) {
+	for n := -19; n <= 19; n++ {
+		if weightOf(n) >= weightOf(n-1) {
+			t.Fatalf("weight(%d)=%d !< weight(%d)=%d", n, weightOf(n), n-1, weightOf(n-1))
+		}
+	}
+	if weightOf(0) != 1024 {
+		t.Fatalf("weight(0) = %d, want 1024", weightOf(0))
+	}
+	if weightOf(-100) != weightOf(-20) || weightOf(100) != weightOf(19) {
+		t.Fatal("clamping broken")
+	}
+}
+
+// TestWorkConservationProperty: with N independent CPU-bound threads on C
+// cores and zero costs, total busy time equals total work and the
+// makespan is at most ceil(N/C) times the per-thread work plus slack.
+func TestWorkConservationProperty(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw%24) + 1
+		c := int(cRaw%8) + 1
+		cfg := hw.SmallNode()
+		cfg.Topo.CoresPerSocket = c
+		cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+		eng := sim.NewEngine(uint64(n*31 + c))
+		k := New(eng, cfg, DefaultSchedParams())
+		p := k.NewProcess("app")
+		const work = 10 * sim.Millisecond
+		var makespan sim.Time
+		for i := 0; i < n; i++ {
+			k.SpawnThread(p, "w", func(th *Thread) {
+				th.Compute(work)
+				if now := eng.Now(); now > makespan {
+					makespan = now
+				}
+			})
+		}
+		if _, err := eng.RunAll(); err != nil {
+			return false
+		}
+		total := k.TotalBusyTime()
+		if total != sim.Duration(n)*work {
+			return false
+		}
+		// Makespan bounds: at least total/c, at most total (fully
+		// serialised).
+		lower := sim.Time(int64(total) / int64(c))
+		return makespan >= lower && makespan <= sim.Time(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFairnessProperty: two equal-weight CPU hogs sharing one core finish
+// within one slice of each other regardless of work size.
+func TestFairnessProperty(t *testing.T) {
+	f := func(workRaw uint16) bool {
+		work := sim.Duration(int(workRaw%200)+50) * sim.Millisecond
+		cfg := hw.SmallNode()
+		cfg.Topo.CoresPerSocket = 1
+		cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+		eng := sim.NewEngine(uint64(workRaw))
+		k := New(eng, cfg, DefaultSchedParams())
+		p := k.NewProcess("app")
+		var ends []sim.Time
+		for i := 0; i < 2; i++ {
+			k.SpawnThread(p, "hog", func(th *Thread) {
+				th.Compute(work)
+				ends = append(ends, eng.Now())
+			})
+		}
+		if _, err := eng.RunAll(); err != nil {
+			return false
+		}
+		gap := ends[1] - ends[0]
+		if gap < 0 {
+			gap = -gap
+		}
+		return sim.Duration(gap) <= k.Params.TargetLatency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFutexNoLostWakeups: pairs of waiters and wakers always drain.
+func TestFutexNoLostWakeups(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		cfg := hw.SmallNode()
+		cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+		eng := sim.NewEngine(uint64(n))
+		k := New(eng, cfg, DefaultSchedParams())
+		p := k.NewProcess("app")
+		fx := k.NewFutex()
+		fx.Word = 1
+		woken := 0
+		for i := 0; i < n; i++ {
+			k.SpawnThread(p, "waiter", func(th *Thread) {
+				for fx.Word == 1 {
+					fx.Wait(th, 1, -1)
+				}
+				woken++
+			})
+		}
+		eng.After(sim.Duration(n)*sim.Millisecond, func() {
+			fx.Word = 0
+			fx.Wake(1 << 30)
+		})
+		if _, err := eng.RunAll(); err != nil {
+			return false
+		}
+		return woken == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,695 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fairQueue is a min-heap of fair-class threads ordered by (vruntime,
+// rqSeq). Threads track their heap index so arbitrary removal (steals,
+// affinity changes, exits) stays O(log n).
+type fairQueue struct {
+	ts []*Thread
+}
+
+func (q *fairQueue) len() int { return len(q.ts) }
+
+func (q *fairQueue) less(i, j int) bool {
+	a, b := q.ts[i], q.ts[j]
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.rqSeq < b.rqSeq
+}
+
+func (q *fairQueue) swap(i, j int) {
+	q.ts[i], q.ts[j] = q.ts[j], q.ts[i]
+	q.ts[i].rqIdx = i
+	q.ts[j].rqIdx = j
+}
+
+func (q *fairQueue) push(t *Thread) {
+	t.rqIdx = len(q.ts)
+	q.ts = append(q.ts, t)
+	q.up(t.rqIdx)
+}
+
+func (q *fairQueue) peek() *Thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	return q.ts[0]
+}
+
+func (q *fairQueue) pop() *Thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	t := q.ts[0]
+	q.removeAt(0)
+	return t
+}
+
+func (q *fairQueue) remove(t *Thread) {
+	if t.rqIdx >= 0 && t.rqIdx < len(q.ts) && q.ts[t.rqIdx] == t {
+		q.removeAt(t.rqIdx)
+	}
+}
+
+func (q *fairQueue) removeAt(i int) {
+	n := len(q.ts) - 1
+	q.swap(i, n)
+	t := q.ts[n]
+	q.ts[n] = nil
+	q.ts = q.ts[:n]
+	t.rqIdx = -1
+	if i < n {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *fairQueue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q.swap(i, p)
+		i = p
+	}
+}
+
+func (q *fairQueue) down(i int) {
+	n := len(q.ts)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && q.less(l, s) {
+			s = l
+		}
+		if r < n && q.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		q.swap(i, s)
+		i = s
+	}
+}
+
+// rtQueue holds SCHED_RR threads, highest priority first, FIFO within a
+// priority level.
+type rtQueue struct {
+	ts []*Thread
+}
+
+func (q *rtQueue) len() int { return len(q.ts) }
+
+func (q *rtQueue) push(t *Thread) {
+	// Insert after the last thread with priority >= t's.
+	i := len(q.ts)
+	for i > 0 && q.ts[i-1].rtPrio < t.rtPrio {
+		i--
+	}
+	q.ts = append(q.ts, nil)
+	copy(q.ts[i+1:], q.ts[i:])
+	q.ts[i] = t
+}
+
+func (q *rtQueue) pop() *Thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	t := q.ts[0]
+	copy(q.ts, q.ts[1:])
+	q.ts = q.ts[:len(q.ts)-1]
+	return t
+}
+
+func (q *rtQueue) remove(t *Thread) {
+	for i, x := range q.ts {
+		if x == t {
+			copy(q.ts[i:], q.ts[i+1:])
+			q.ts = q.ts[:len(q.ts)-1]
+			return
+		}
+	}
+}
+
+// core is one simulated CPU.
+type core struct {
+	k  *Kernel
+	id int
+
+	curr *Thread
+	rq   fairQueue
+	rt   rtQueue
+
+	minVruntime int64
+	sliceEnd    sim.Time
+	preemptEv   *sim.Event
+	pendingIRQ  sim.Duration // timer-tick overhead charged to the next dispatch
+
+	lastTid   Tid
+	isIdle    bool
+	idleSince sim.Time
+	idleAccum sim.Duration
+	busyAccum sim.Duration
+}
+
+func newCore(k *Kernel, id int) *core {
+	return &core{k: k, id: id, isIdle: true}
+}
+
+func (c *core) now() sim.Time { return c.k.Eng.Now() }
+
+func (c *core) hasCompetitor(t *Thread) bool {
+	return c.rq.len() > 0 || c.rt.len() > 0
+}
+
+// slice returns the fair-class time slice for the current load.
+func (c *core) slice(t *Thread) sim.Duration {
+	if t.class == ClassRR {
+		return c.k.Params.RRQuantum
+	}
+	nr := c.rq.len() + 1
+	s := c.k.Params.TargetLatency / sim.Duration(nr)
+	if s < c.k.Params.MinGranularity {
+		s = c.k.Params.MinGranularity
+	}
+	return s
+}
+
+// enqueue puts a runnable thread on this core's queue and arms preemption
+// machinery as needed.
+func (c *core) enqueue(t *Thread) {
+	t.state = ThreadRunnable
+	t.queuedOn = c.id
+	c.k.rrSeq++
+	t.rqSeq = c.k.rrSeq
+	if t.class == ClassRR {
+		c.rt.push(t)
+	} else {
+		c.rq.push(t)
+	}
+	c.armPreempt()
+}
+
+// removeQueued pulls a runnable thread out of its queue (exit, affinity
+// change, steal).
+func (c *core) removeQueued(t *Thread) {
+	if t.class == ClassRR {
+		c.rt.remove(t)
+	} else {
+		c.rq.remove(t)
+	}
+}
+
+// armPreempt ensures a slice-expiry timer is pending while the current
+// thread has competitors. The slice is recomputed from the present queue
+// depth, so a thread's slice shrinks as a core gets crowded (as in CFS).
+func (c *core) armPreempt() {
+	t := c.curr
+	if t == nil || !c.hasCompetitor(t) {
+		return
+	}
+	end := t.dispatchedAt + sim.Time(c.slice(t))
+	if end < c.now() {
+		end = c.now()
+	}
+	c.sliceEnd = end
+	if c.preemptEv != nil {
+		if c.preemptEv.When() <= end {
+			return // existing timer fires at or before the new end
+		}
+		c.preemptEv.Cancel()
+	}
+	c.preemptEv = c.k.Eng.At(end, c.onPreemptTimer)
+}
+
+func (c *core) onPreemptTimer() {
+	c.preemptEv = nil
+	t := c.curr
+	if t == nil || !c.hasCompetitor(t) {
+		return
+	}
+	if c.now() < c.sliceEnd {
+		c.armPreempt()
+		return
+	}
+	// RT threads only round-robin among equal-or-higher priority.
+	if t.class == ClassRR {
+		next := c.rt.len() > 0 && c.rt.ts[0].rtPrio >= t.rtPrio
+		if !next {
+			c.sliceEnd = c.now() + sim.Time(c.k.Params.RRQuantum)
+			c.armPreempt()
+			return
+		}
+	}
+	if t.seg == nil || !t.seg.running {
+		// The thread sits at a zero-time call boundary; make it
+		// self-preempt at its next scheduling point.
+		t.needResched = true
+		return
+	}
+	c.k.Stats.Preemptions++
+	c.pendingIRQ += c.k.HW.Costs.TimerTick
+	c.stopCurrent()
+	c.enqueue(t)
+	c.scheduleNext()
+}
+
+// preemptCurrent forcibly removes the current thread (event context) and
+// requeues it according to its affinity.
+func (c *core) preemptCurrent(reason string) {
+	t := c.curr
+	if t == nil {
+		return
+	}
+	c.k.Stats.Preemptions++
+	c.stopCurrent()
+	if t.affinity.Has(c.id) {
+		c.enqueue(t)
+	} else {
+		c.k.wakePlace(t)
+	}
+	c.scheduleNext()
+}
+
+// preemptCurrentVoluntary is the self-initiated variant (yield, expired
+// slice honoured at a Compute boundary, affinity move). The caller must
+// park the proc afterwards.
+func (c *core) preemptCurrentVoluntary(reason string) {
+	t := c.curr
+	if t == nil {
+		return
+	}
+	c.stopCurrent()
+	if t.affinity.Has(c.id) {
+		c.enqueue(t)
+	} else {
+		c.k.wakePlace(t)
+	}
+	c.scheduleNext()
+}
+
+// stopCurrent detaches the current thread, folding segment progress and
+// vruntime accounting. The thread is left in Runnable state with no queue.
+func (c *core) stopCurrent() {
+	t := c.curr
+	now := c.now()
+	if t.seg != nil && t.seg.running {
+		t.seg.advance(now)
+		c.k.bw.deregister(c, t)
+		if t.seg.endEv != nil {
+			t.seg.endEv.Cancel()
+			t.seg.endEv = nil
+		}
+		t.seg.running = false
+	}
+	c.accountOff(t)
+	t.state = ThreadRunnable
+	t.curCore = -1
+	t.needResched = false
+	c.curr = nil
+	if c.preemptEv != nil {
+		c.preemptEv.Cancel()
+		c.preemptEv = nil
+	}
+}
+
+// undispatch is stopCurrent for threads leaving the runnable set (block,
+// exit).
+func (c *core) undispatch(t *Thread) {
+	c.stopCurrent()
+}
+
+// accountOff charges wall time to vruntime and usage counters.
+func (c *core) accountOff(t *Thread) {
+	now := c.now()
+	wall := now.Sub(t.dispatchedAt)
+	if wall > 0 {
+		t.CPUTime += wall
+		c.busyAccum += wall
+		if t.class == ClassFair {
+			t.vruntime += int64(wall) * 1024 / t.weight
+			if t.vruntime > c.minVruntime {
+				c.minVruntime = t.vruntime
+			}
+		}
+	}
+	t.lastCore = c.id
+	c.lastTid = t.TID
+	c.k.trace(trace.KindRunEnd, c.id, t)
+}
+
+// popNext removes and returns the core's next queued thread (RT first,
+// then fair min-vruntime), or nil. Used by the yield path to implement
+// skip-buddy picking.
+func (c *core) popNext() *Thread {
+	if c.rt.len() > 0 {
+		return c.rt.pop()
+	}
+	if c.rq.len() > 0 {
+		return c.rq.pop()
+	}
+	return nil
+}
+
+// scheduleNext picks and dispatches the next thread for this core, stealing
+// from a loaded peer when the local queues are empty.
+func (c *core) scheduleNext() {
+	if c.curr != nil {
+		return
+	}
+	var next *Thread
+	if c.rt.len() > 0 {
+		next = c.rt.pop()
+	} else if c.rq.len() > 0 {
+		next = c.rq.pop()
+	} else {
+		next = c.k.stealFor(c)
+	}
+	if next == nil {
+		c.isIdle = true
+		c.idleSince = c.now()
+		return
+	}
+	c.dispatch(next)
+}
+
+// dispatch makes t current on this core.
+func (c *core) dispatch(t *Thread) {
+	if c.curr != nil {
+		panic(fmt.Sprintf("kernel: dispatch on busy core %d", c.id))
+	}
+	k := c.k
+	now := c.now()
+	if c.isIdle {
+		c.idleAccum += now.Sub(c.idleSince)
+		c.isIdle = false
+	}
+	k.armBalance()
+
+	var penalty sim.Duration
+	if c.lastTid != t.TID {
+		penalty += k.HW.Costs.ContextSwitch
+		k.Stats.ContextSwitches++
+	}
+	if t.lastCore >= 0 && t.lastCore != c.id {
+		k.Stats.Migrations++
+		topo := k.HW.Topo
+		switch {
+		case !topo.SameSocket(t.lastCore, c.id):
+			penalty += k.HW.Costs.MigrationCrossSocket
+			k.Stats.CrossSocket++
+		case !topo.SameNUMA(t.lastCore, c.id):
+			penalty += k.HW.Costs.MigrationCrossNUMA
+		default:
+			penalty += k.HW.Costs.MigrationSameNUMA
+		}
+	}
+	// Cache re-pollution: our lines were evicted if someone else ran
+	// here, or we arrive from elsewhere.
+	if t.seg != nil && t.seg.footprint > 0 && (c.lastTid != t.TID || t.lastCore != c.id) {
+		fp := t.seg.footprint
+		if fp > k.HW.Costs.L2Bytes {
+			fp = k.HW.Costs.L2Bytes
+		}
+		penalty += sim.Duration(float64(fp) / k.HW.Costs.CacheRefillBytesPerNs)
+	}
+	penalty += c.pendingIRQ
+	c.pendingIRQ = 0
+
+	c.curr = t
+	t.state = ThreadRunning
+	t.curCore = c.id
+	t.queuedOn = -1
+	t.dispatchedAt = now
+	c.sliceEnd = now + sim.Time(c.slice(t))
+	if t.class == ClassFair && t.vruntime > c.minVruntime {
+		c.minVruntime = t.vruntime
+	}
+	c.armPreempt()
+	k.trace(trace.KindRunStart, c.id, t)
+
+	if t.seg != nil {
+		t.seg.penalty += float64(penalty)
+		c.startSegment(t)
+	} else {
+		t.pendingPenalty += penalty
+		k.Eng.Ready(t.proc)
+	}
+}
+
+// startSegment begins (or resumes) the current thread's compute segment.
+func (c *core) startSegment(t *Thread) {
+	seg := t.seg
+	seg.running = true
+	seg.lastUpdate = c.now()
+	c.k.bw.register(c, t)
+}
+
+// onSegmentEnd completes the current compute request and resumes the
+// thread's code.
+func (c *core) onSegmentEnd(t *Thread) {
+	if t.seg == nil || c.curr != t {
+		return
+	}
+	t.seg.advance(c.now())
+	c.k.bw.deregister(c, t)
+	t.seg.running = false
+	t.seg.endEv = nil
+	t.seg = nil
+	c.k.Eng.Ready(t.proc)
+}
+
+// blockCurrent transitions the calling thread to Blocked and frees its
+// core. The caller parks the proc afterwards.
+func (k *Kernel) blockCurrent(t *Thread) {
+	switch t.state {
+	case ThreadRunning:
+		c := k.cores[t.curCore]
+		c.undispatch(t)
+		t.state = ThreadBlocked
+		c.scheduleNext()
+	case ThreadRunnable:
+		// Preempted at the call boundary and now blocking.
+		k.cores[t.queuedOn].removeQueued(t)
+		t.state = ThreadBlocked
+	default:
+		panic(fmt.Sprintf("kernel: blockCurrent on %v in state %v", t, t.state))
+	}
+}
+
+// trace records a scheduling event when tracing is enabled.
+func (k *Kernel) trace(kind trace.Kind, core int, t *Thread) {
+	if k.Tracer == nil {
+		return
+	}
+	k.Tracer.Add(trace.Event{
+		At:     k.Eng.Now(),
+		Kind:   kind,
+		Core:   core,
+		Thread: t.Name,
+		TID:    int(t.TID),
+	})
+}
+
+// wake makes a blocked thread runnable, with CFS-style sleeper placement.
+func (k *Kernel) wake(t *Thread, sleeper bool) {
+	if t.state != ThreadBlocked {
+		return
+	}
+	k.Stats.Wakeups++
+	t.sleeperWake = sleeper
+	k.trace(trace.KindWake, t.lastCore, t)
+	k.wakePlace(t)
+}
+
+// wakePlace selects a core for a runnable thread and either dispatches it
+// (idle core) or enqueues it (possibly preempting the current thread).
+func (k *Kernel) wakePlace(t *Thread) {
+	c := k.selectCore(t)
+	if t.class == ClassFair {
+		base := c.minVruntime
+		if t.sleeperWake {
+			base -= int64(k.Params.SleeperBonus)
+		}
+		if t.vruntime < base {
+			t.vruntime = base
+		}
+		t.sleeperWake = false
+	}
+	if c.curr == nil && c.rt.len() == 0 && c.rq.len() == 0 {
+		t.state = ThreadRunnable
+		c.dispatch(t)
+		return
+	}
+	c.enqueue(t)
+	k.maybeWakeupPreempt(c, t)
+}
+
+// maybeWakeupPreempt applies wake-up preemption rules.
+func (k *Kernel) maybeWakeupPreempt(c *core, t *Thread) {
+	curr := c.curr
+	if curr == nil {
+		c.scheduleNext()
+		return
+	}
+	now := k.Eng.Now()
+	if t.class == ClassRR && curr.class == ClassFair {
+		if curr.seg != nil && curr.seg.running {
+			c.preemptCurrent("rt-wakeup")
+		} else {
+			curr.needResched = true
+		}
+		return
+	}
+	if t.class != ClassFair || curr.class != ClassFair {
+		return
+	}
+	ran := now.Sub(curr.dispatchedAt)
+	if ran < k.Params.MinGranularity {
+		return
+	}
+	currVNow := curr.vruntime + int64(ran)*1024/curr.weight
+	if t.vruntime+int64(k.Params.WakeupGranularity) < currVNow {
+		if curr.seg != nil && curr.seg.running {
+			c.preemptCurrent("wakeup")
+		} else {
+			curr.needResched = true
+		}
+	}
+}
+
+// selectCore implements wake-up placement: last core if idle, then an idle
+// core in the same NUMA node, then any idle core, then the least loaded
+// core, always respecting affinity.
+func (k *Kernel) selectCore(t *Thread) *core {
+	topo := k.HW.Topo
+	idle := func(c *core) bool { return c.curr == nil && c.rq.len() == 0 && c.rt.len() == 0 }
+
+	if t.lastCore >= 0 && t.affinity.Has(t.lastCore) && idle(k.cores[t.lastCore]) {
+		return k.cores[t.lastCore]
+	}
+	if t.lastCore >= 0 {
+		for _, c := range k.cores {
+			if c.id != t.lastCore && topo.SameNUMA(c.id, t.lastCore) && t.affinity.Has(c.id) && idle(c) {
+				return c
+			}
+		}
+	}
+	var best *core
+	bestLoad := 1 << 30
+	for _, c := range k.cores {
+		if !t.affinity.Has(c.id) {
+			continue
+		}
+		if idle(c) {
+			return c
+		}
+		load := c.rq.len() + c.rt.len()
+		if c.curr != nil {
+			load++
+		}
+		if load < bestLoad {
+			bestLoad = load
+			best = c
+		}
+	}
+	if best == nil {
+		panic(fmt.Sprintf("kernel: thread %v has empty effective affinity %v", t, t.affinity))
+	}
+	return best
+}
+
+// stealFor pulls a runnable fair thread from the most loaded core whose
+// queued work may run on c (idle balancing).
+func (k *Kernel) stealFor(c *core) *Thread {
+	var busiest *core
+	load := 0 // any queued (non-running) thread is worth pulling
+	for _, o := range k.cores {
+		if o == c {
+			continue
+		}
+		l := o.rq.len()
+		if l > load {
+			load = l
+			busiest = o
+		}
+	}
+	if busiest == nil {
+		return nil
+	}
+	for _, t := range busiest.rq.ts {
+		if t != nil && t.affinity.Has(c.id) {
+			busiest.rq.remove(t)
+			k.Stats.Steals++
+			return t
+		}
+	}
+	return nil
+}
+
+// armBalance schedules a periodic balance pass if one is not pending. It is
+// invoked from dispatch, so the balancer runs only while the machine has
+// work; otherwise the event queue can drain and the simulation terminate.
+func (k *Kernel) armBalance() {
+	if k.Params.BalanceInterval <= 0 || k.balanceEv != nil {
+		return
+	}
+	k.balanceEv = k.Eng.After(k.Params.BalanceInterval, k.periodicBalance)
+}
+
+// periodicBalance is the simplified periodic load balancer: it moves queued
+// fair threads from the most to the least loaded cores.
+func (k *Kernel) periodicBalance() {
+	k.balanceEv = nil
+	if k.TotalRunnable() > 0 {
+		k.armBalance()
+	}
+	const maxMoves = 8
+	for move := 0; move < maxMoves; move++ {
+		var src, dst *core
+		srcLoad, dstLoad := -1, 1<<30
+		for _, c := range k.cores {
+			l := c.rq.len()
+			if c.curr != nil {
+				l++
+			}
+			if l > srcLoad {
+				srcLoad = l
+				src = c
+			}
+			if l < dstLoad {
+				dstLoad = l
+				dst = c
+			}
+		}
+		if src == nil || dst == nil || srcLoad-dstLoad <= 1 || src.rq.len() == 0 {
+			return
+		}
+		var victim *Thread
+		for _, t := range src.rq.ts {
+			if t != nil && t.affinity.Has(dst.id) {
+				victim = t
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		src.rq.remove(victim)
+		k.Stats.BalanceMoves++
+		if dst.curr == nil && dst.rq.len() == 0 && dst.rt.len() == 0 {
+			dst.dispatch(victim)
+		} else {
+			dst.enqueue(victim)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package metrics provides the small statistics toolkit the experiment
+// drivers share: time series (bandwidth traces), latency summaries, and
+// fixed-width table rendering for paper-style output.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Series is a step-function time series: the value holds from each sample
+// until the next. Used for the Fig. 5b bandwidth traces.
+type Series struct {
+	T []sim.Time
+	V []float64
+}
+
+// Add appends a sample (times must be nondecreasing).
+func (s *Series) Add(t sim.Time, v float64) {
+	if n := len(s.T); n > 0 && s.T[n-1] == t {
+		s.V[n-1] = v
+		return
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.T) }
+
+// Mean integrates the step function over [from, to] and divides by the
+// span.
+func (s *Series) Mean(from, to sim.Time) float64 {
+	if to <= from || len(s.T) == 0 {
+		return 0
+	}
+	var area float64
+	cur := 0.0
+	last := from
+	for i, t := range s.T {
+		if t >= to {
+			break
+		}
+		if t <= from {
+			cur = s.V[i]
+			continue
+		}
+		area += cur * float64(t-last)
+		cur = s.V[i]
+		last = t
+	}
+	area += cur * float64(to-last)
+	return area / float64(to-from)
+}
+
+// Max returns the maximum sample value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.V {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Resample returns n evenly spaced (time, value) points across [from, to].
+func (s *Series) Resample(from, to sim.Time, n int) ([]sim.Time, []float64) {
+	ts := make([]sim.Time, n)
+	vs := make([]float64, n)
+	idx := 0
+	cur := 0.0
+	for i := 0; i < n; i++ {
+		t := from + sim.Time(int64(to-from)*int64(i)/int64(n))
+		for idx < len(s.T) && s.T[idx] <= t {
+			cur = s.V[idx]
+			idx++
+		}
+		ts[i] = t
+		vs[i] = cur
+	}
+	return ts, vs
+}
+
+// LatencyStats summarises a set of durations.
+type LatencyStats struct {
+	N              int
+	Mean, P50, P99 sim.Duration
+	Min, Max       sim.Duration
+}
+
+// Summarize computes latency statistics.
+func Summarize(ds []sim.Duration) LatencyStats {
+	if len(ds) == 0 {
+		return LatencyStats{}
+	}
+	sorted := make([]sim.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum sim.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pick := func(q float64) sim.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return LatencyStats{
+		N:    len(sorted),
+		Mean: sum / sim.Duration(len(sorted)),
+		P50:  pick(0.5),
+		P99:  pick(0.99),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Table renders rows of columns with right-aligned numeric formatting.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	all := append([][]string{t.Header}, t.Rows...)
+	width := make([]int, 0)
+	for _, row := range all {
+		for i, c := range row {
+			for len(width) <= i {
+				width = append(width, 0)
+			}
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range width {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesMeanStepFunction(t *testing.T) {
+	var s Series
+	s.Add(0, 10)
+	s.Add(100, 20)
+	s.Add(200, 0)
+	// mean over [0,200): 10*100 + 20*100 over 200 = 15
+	if m := s.Mean(0, 200); m != 15 {
+		t.Fatalf("Mean = %v, want 15", m)
+	}
+	// mean over [50,150): 10*50 + 20*50 over 100 = 15
+	if m := s.Mean(50, 150); m != 15 {
+		t.Fatalf("Mean = %v, want 15", m)
+	}
+	// after the last sample the value holds
+	if m := s.Mean(200, 300); m != 0 {
+		t.Fatalf("Mean = %v, want 0", m)
+	}
+}
+
+func TestSeriesDuplicateTimeOverwrites(t *testing.T) {
+	var s Series
+	s.Add(5, 1)
+	s.Add(5, 2)
+	if s.Len() != 1 || s.V[0] != 2 {
+		t.Fatalf("duplicate-time sample not overwritten: %+v", s)
+	}
+}
+
+func TestSeriesMax(t *testing.T) {
+	var s Series
+	if s.Max() != 0 {
+		t.Fatal("empty Max != 0")
+	}
+	s.Add(0, 3)
+	s.Add(1, 7)
+	s.Add(2, 5)
+	if s.Max() != 7 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+}
+
+func TestSeriesResample(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	s.Add(50, 2)
+	ts, vs := s.Resample(0, 100, 4)
+	if len(ts) != 4 || len(vs) != 4 {
+		t.Fatal("wrong resample size")
+	}
+	if vs[0] != 1 || vs[3] != 2 {
+		t.Fatalf("resampled values %v", vs)
+	}
+}
+
+func TestSeriesMeanBoundsProperty(t *testing.T) {
+	// Property: the integral mean always lies within [min, max] of the
+	// contributing samples (plus initial 0).
+	f := func(raw []uint8) bool {
+		var s Series
+		min, max := 0.0, 0.0
+		for i, v := range raw {
+			val := float64(v)
+			s.Add(sim.Time(i*10), val)
+			if val < min {
+				min = val
+			}
+			if val > max {
+				max = val
+			}
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		m := s.Mean(0, sim.Time(len(raw)*10+10))
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := []sim.Duration{40, 10, 30, 20}
+	st := Summarize(ds)
+	if st.N != 4 || st.Mean != 25 || st.Min != 10 || st.Max != 40 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P50 != 20 && st.P50 != 30 {
+		t.Fatalf("P50 = %v", st.P50)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summarize not zero")
+	}
+}
+
+func TestSummarizeOrderInvariant(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]sim.Duration, len(raw))
+		b := make([]sim.Duration, len(raw))
+		for i, v := range raw {
+			a[i] = sim.Duration(v)
+			b[len(raw)-1-i] = sim.Duration(v)
+		}
+		sa, sb := Summarize(a), Summarize(b)
+		return sa == sb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22222")
+	out := tab.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22222") {
+		t.Fatalf("table output wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+}

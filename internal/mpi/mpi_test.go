@@ -1,0 +1,156 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/glibc"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// launchRanks builds a world of n single-threaded rank processes running
+// body and drives the simulation to completion.
+func launchRanks(t *testing.T, cores, n int, yield bool, body func(r *Rank, l *glibc.Lib)) *kernel.Kernel {
+	t.Helper()
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = cores
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	w := NewWorld(n, yield)
+	for i := 0; i < n; i++ {
+		i := i
+		if _, err := glibc.StartProcess(k, "rank", glibc.Options{}, func(l *glibc.Lib) {
+			r := w.Register(i, l)
+			body(r, l)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestSendRecvDelivers(t *testing.T) {
+	var got int64
+	launchRanks(t, 4, 2, true, func(r *Rank, l *glibc.Lib) {
+		if r.RankID() == 0 {
+			l.Compute(1 * sim.Millisecond)
+			r.Send(1, 7, 4096)
+		} else {
+			got = r.Recv(0, 7)
+		}
+	})
+	if got != 4096 {
+		t.Fatalf("received %d bytes, want 4096", got)
+	}
+}
+
+func TestRecvMatchesTag(t *testing.T) {
+	var first int64
+	launchRanks(t, 4, 2, true, func(r *Rank, l *glibc.Lib) {
+		if r.RankID() == 0 {
+			r.Send(1, 1, 100)
+			r.Send(1, 2, 200)
+		} else {
+			first = r.Recv(0, 2) // must skip the tag-1 message
+			r.Recv(0, 1)
+		}
+	})
+	if first != 200 {
+		t.Fatalf("tag-2 recv got %d bytes, want 200", first)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	var minAfter, maxBefore sim.Time
+	minAfter = sim.Forever
+	launchRanks(t, 4, 4, true, func(r *Rank, l *glibc.Lib) {
+		l.Compute(sim.Duration(r.RankID()+1) * sim.Millisecond)
+		now := l.K.Eng.Now()
+		if now > maxBefore {
+			maxBefore = now
+		}
+		r.Barrier()
+		now = l.K.Eng.Now()
+		if now < minAfter {
+			minAfter = now
+		}
+	})
+	if minAfter < maxBefore {
+		t.Fatalf("a rank left the barrier at %v before the last arrived at %v", minAfter, maxBefore)
+	}
+}
+
+func TestAllreduceCompletes(t *testing.T) {
+	done := 0
+	launchRanks(t, 4, 4, true, func(r *Rank, l *glibc.Lib) {
+		r.Allreduce(8192)
+		done++
+	})
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestBusyWaitRecvBurnsCPUWithoutYield(t *testing.T) {
+	// 3 ranks on 1 core: rank 1 waits for rank 0's message while rank 2
+	// computes. Without yield, the waiting rank burns whole slices; with
+	// the patch it gives the CPU back. Total makespan must be clearly
+	// worse without yield.
+	measure := func(yield bool) sim.Time {
+		cfg := hw.SmallNode()
+		cfg.Topo.CoresPerSocket = 1
+		cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+		eng := sim.NewEngine(1)
+		k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+		w := NewWorld(2, yield)
+		var doneAt sim.Time
+		for i := 0; i < 2; i++ {
+			i := i
+			if _, err := glibc.StartProcess(k, "rank", glibc.Options{}, func(l *glibc.Lib) {
+				r := w.Register(i, l)
+				if i == 0 {
+					l.Compute(30 * sim.Millisecond)
+					r.Send(1, 0, 64)
+				} else {
+					r.Recv(0, 0)
+					doneAt = l.K.Eng.Now()
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.Run(sim.Time(10 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return doneAt
+	}
+	withYield := measure(true)
+	without := measure(false)
+	if without <= withYield {
+		t.Fatalf("yield=%v no-yield=%v: busy-wait interference not modelled", withYield, without)
+	}
+}
+
+func TestHaloExchangeRing(t *testing.T) {
+	// 4 ranks exchange halos with both neighbours in a ring.
+	sums := make([]int64, 4)
+	launchRanks(t, 4, 4, true, func(r *Rank, l *glibc.Lib) {
+		me := r.RankID()
+		left := (me + 3) % 4
+		right := (me + 1) % 4
+		r.Send(right, 10+me, 1000)
+		r.Send(left, 20+me, 1000)
+		sums[me] += r.Recv(left, 10+left)
+		sums[me] += r.Recv(right, 20+right)
+	})
+	for i, s := range sums {
+		if s != 2000 {
+			t.Fatalf("rank %d halo bytes = %d, want 2000", i, s)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package nosv
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func newTestStack(t *testing.T, cores int) (*sim.Engine, *kernel.Kernel, *kernel.Process, *Instance) {
+	t.Helper()
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = cores
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	proc := k.NewProcess("app")
+	in, err := OpenSegment(k, "test", proc, func() Policy { return NewFIFO() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, k, proc, in
+}
+
+// spawnAttached creates a kernel thread that attaches to nOS-V, runs body,
+// and completes its task.
+func spawnAttached(k *kernel.Kernel, in *Instance, proc *kernel.Process, label string, body func(kt *kernel.Thread, task *Task)) {
+	k.SpawnThread(proc, label, func(kt *kernel.Thread) {
+		task := in.Attach(kt, proc.PID, label)
+		body(kt, task)
+		in.Complete(task)
+	})
+}
+
+func mustRun(t *testing.T, eng *sim.Engine) {
+	t.Helper()
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachRunsTask(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 4)
+	ran := false
+	spawnAttached(k, in, proc, "t", func(kt *kernel.Thread, task *Task) {
+		if task.State() != TaskRunning {
+			t.Errorf("state after attach = %v", task.State())
+		}
+		if task.PrefCore() < 0 {
+			t.Error("no core assigned")
+		}
+		kt.Compute(1 * sim.Millisecond)
+		ran = true
+	})
+	mustRun(t, eng)
+	if !ran {
+		t.Fatal("task body did not run")
+	}
+	if in.Stats.Attaches != 1 || in.Stats.Completions != 1 {
+		t.Fatalf("stats = %+v", in.Stats)
+	}
+}
+
+func TestOneRunnerPerCoreInvariant(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 2)
+	running := 0
+	max := 0
+	for i := 0; i < 6; i++ {
+		spawnAttached(k, in, proc, "t", func(kt *kernel.Thread, task *Task) {
+			running++
+			if running > max {
+				max = running
+			}
+			kt.Compute(5 * sim.Millisecond)
+			running--
+		})
+	}
+	mustRun(t, eng)
+	if max > 2 {
+		t.Fatalf("up to %d tasks ran concurrently on 2 cores", max)
+	}
+	if in.Stats.Completions != 6 {
+		t.Fatalf("completions = %d", in.Stats.Completions)
+	}
+}
+
+func TestNoPreemptionBetweenTasks(t *testing.T) {
+	// Two long tasks on one core: the second must not start until the
+	// first completes (cooperative semantics), unlike the kernel's fair
+	// class which would interleave them.
+	eng, k, proc, in := newTestStack(t, 1)
+	var order []int
+	for i := 0; i < 2; i++ {
+		i := i
+		spawnAttached(k, in, proc, "t", func(kt *kernel.Thread, task *Task) {
+			kt.Compute(100 * sim.Millisecond) // far beyond a kernel slice
+			order = append(order, i)
+		})
+	}
+	mustRun(t, eng)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v, want strict FIFO completion", order)
+	}
+}
+
+func TestPauseSubmitRoundTrip(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 2)
+	var paused *Task
+	var resumedAt sim.Time
+	spawnAttached(k, in, proc, "sleeper", func(kt *kernel.Thread, task *Task) {
+		paused = task
+		in.Pause(task)
+		resumedAt = eng.Now()
+	})
+	spawnAttached(k, in, proc, "waker", func(kt *kernel.Thread, task *Task) {
+		kt.Compute(10 * sim.Millisecond)
+		in.Submit(paused)
+	})
+	mustRun(t, eng)
+	if resumedAt != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("resumed at %v, want 10ms", resumedAt)
+	}
+}
+
+func TestPauseFreesCoreForNextTask(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 1)
+	var blocked *Task
+	var secondRan sim.Time
+	spawnAttached(k, in, proc, "blocker", func(kt *kernel.Thread, task *Task) {
+		blocked = task
+		kt.Compute(2 * sim.Millisecond)
+		in.Pause(task) // hands the single core to the waiter
+		kt.Compute(1 * sim.Millisecond)
+	})
+	spawnAttached(k, in, proc, "waiter", func(kt *kernel.Thread, task *Task) {
+		secondRan = eng.Now()
+		kt.Compute(3 * sim.Millisecond)
+		in.Submit(blocked)
+	})
+	mustRun(t, eng)
+	if secondRan != sim.Time(2*sim.Millisecond) {
+		t.Fatalf("waiter started at %v, want 2ms (right after pause)", secondRan)
+	}
+}
+
+func TestWaitforTimesOutAndResubmits(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 2)
+	var early bool
+	var at sim.Time
+	spawnAttached(k, in, proc, "w", func(kt *kernel.Thread, task *Task) {
+		early = in.Waitfor(task, 5*sim.Millisecond)
+		at = eng.Now()
+	})
+	mustRun(t, eng)
+	if early {
+		t.Fatal("Waitfor reported early wake on a pure timeout")
+	}
+	if at != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("woke at %v, want 5ms", at)
+	}
+}
+
+func TestWaitforEarlySubmit(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 2)
+	var target *Task
+	var early bool
+	var at sim.Time
+	spawnAttached(k, in, proc, "w", func(kt *kernel.Thread, task *Task) {
+		target = task
+		early = in.Waitfor(task, 50*sim.Millisecond)
+		at = eng.Now()
+	})
+	eng.After(7*sim.Millisecond, func() { in.Submit(target) })
+	mustRun(t, eng)
+	if !early {
+		t.Fatal("expected early wake")
+	}
+	if at != sim.Time(7*sim.Millisecond) {
+		t.Fatalf("woke at %v, want 7ms", at)
+	}
+}
+
+func TestYieldRotatesReadyTasks(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 1)
+	var trace []string
+	mk := func(name string) {
+		spawnAttached(k, in, proc, name, func(kt *kernel.Thread, task *Task) {
+			// Warm-up longer than a kernel slice, so the second
+			// thread's raw attach gets CPU before the yields start.
+			kt.Compute(15 * sim.Millisecond)
+			for i := 0; i < 3; i++ {
+				kt.Compute(1 * sim.Millisecond)
+				trace = append(trace, name)
+				in.Yield(task)
+			}
+		})
+	}
+	mk("a")
+	mk("b")
+	mustRun(t, eng)
+	// a and b must alternate on the single core.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestYieldAloneIsSelfYield(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 2)
+	spawnAttached(k, in, proc, "solo", func(kt *kernel.Thread, task *Task) {
+		kt.Compute(1 * sim.Millisecond)
+		in.Yield(task)
+		kt.Compute(1 * sim.Millisecond)
+	})
+	mustRun(t, eng)
+	if in.Stats.SelfYields == 0 {
+		t.Fatal("lone yield should be a self-yield")
+	}
+}
+
+func TestSegmentSharingAndUIDCheck(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 2)
+	_ = eng
+	p2 := k.NewProcess("friend")
+	in2, err := OpenSegment(k, "test", p2, func() Policy { return NewFIFO() })
+	if err != nil {
+		t.Fatalf("same-uid join failed: %v", err)
+	}
+	if in2 != in {
+		t.Fatal("same key must return the same segment")
+	}
+	p3 := k.NewProcess("stranger")
+	p3.UID = 1000
+	if _, err := OpenSegment(k, "test", p3, func() Policy { return NewFIFO() }); err == nil {
+		t.Fatal("cross-uid join must be rejected")
+	}
+	if _, err := OpenSegment(k, "other", p3, func() Policy { return NewFIFO() }); err != nil {
+		t.Fatalf("fresh segment for other uid: %v", err)
+	}
+	_ = proc
+}
+
+func TestMultiProcessSharedScheduling(t *testing.T) {
+	// Two processes submit tasks into one segment with a single core:
+	// the centralized scheduler serialises them all cooperatively.
+	eng, k, proc, in := newTestStack(t, 1)
+	p2 := k.NewProcess("p2")
+	if _, err := OpenSegment(k, "test", p2, func() Policy { return NewFIFO() }); err != nil {
+		t.Fatal(err)
+	}
+	var completions int
+	body := func(kt *kernel.Thread, task *Task) {
+		kt.Compute(3 * sim.Millisecond)
+		completions++
+	}
+	spawnAttached(k, in, proc, "a1", body)
+	spawnAttached(k, in, p2, "b1", body)
+	spawnAttached(k, in, proc, "a2", body)
+	spawnAttached(k, in, p2, "b2", body)
+	mustRun(t, eng)
+	if completions != 4 {
+		t.Fatalf("completions = %d", completions)
+	}
+	if in.Stats.Placements < 4 {
+		t.Fatalf("placements = %d", in.Stats.Placements)
+	}
+}
+
+func TestDetachWithdrawsQueuedTask(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 1)
+	// Occupy the core, then create a queued task and detach it before
+	// it ever runs.
+	spawnAttached(k, in, proc, "hog", func(kt *kernel.Thread, task *Task) {
+		kt.Compute(10 * sim.Millisecond)
+	})
+	ran := false
+	k.SpawnThread(proc, "victim", func(kt *kernel.Thread) {
+		w := in.NewWorker(kt)
+		task := in.NewTask(w, proc.PID, "victim")
+		in.Submit(task)
+		// queued behind hog; withdraw it
+		in.Detach(task)
+		ran = true
+	})
+	mustRun(t, eng)
+	if !ran {
+		t.Fatal("victim thread stuck")
+	}
+	if in.Stats.Completions != 1 {
+		t.Fatalf("completions = %d, want 1 (only hog)", in.Stats.Completions)
+	}
+}
+
+func TestDisconnectProcessDropsQueuedTasks(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 1)
+	p2 := k.NewProcess("p2")
+	if _, err := OpenSegment(k, "test", p2, func() Policy { return NewFIFO() }); err != nil {
+		t.Fatal(err)
+	}
+	executed := 0
+	// Long enough that the orphan's raw thread attaches (after a kernel
+	// slice) while the hog still occupies the nOS-V core slot.
+	spawnAttached(k, in, proc, "hog", func(kt *kernel.Thread, task *Task) {
+		kt.Compute(40 * sim.Millisecond)
+	})
+	// p2's task is queued, then its process disconnects: the worker
+	// must be releasable via shutdown without the task ever running.
+	k.SpawnThread(p2, "orphan", func(kt *kernel.Thread) {
+		w := in.NewWorker(kt)
+		task := in.NewTask(w, p2.PID, "orphan")
+		in.Submit(task)
+		in.DisconnectProcess(p2.PID)
+		if task.State() == TaskDone {
+			executed++ // withdrawn, as expected
+			return
+		}
+		t.Error("queued task not withdrawn at disconnect")
+	})
+	mustRun(t, eng)
+	if executed != 1 {
+		t.Fatalf("executed = %d", executed)
+	}
+}
+
+func TestWorkerShutdownWake(t *testing.T) {
+	eng, k, proc, in := newTestStack(t, 2)
+	var w *Worker
+	reached := false
+	k.SpawnThread(proc, "cached", func(kt *kernel.Thread) {
+		w = in.NewWorker(kt)
+		in.ParkWorker(w) // parks immediately (Word==1)
+		if !w.Shutdown {
+			t.Error("worker woke without shutdown")
+		}
+		reached = true
+	})
+	eng.After(3*sim.Millisecond, func() { in.WakeForShutdown(w) })
+	mustRun(t, eng)
+	if !reached {
+		t.Fatal("worker never exited park loop")
+	}
+}
+
+func TestCooperativeVsKernelInterleaving(t *testing.T) {
+	// The headline behavioural difference (paper §3): under nOS-V CPU
+	// hogs on one core run back-to-back instead of being multiplexed.
+	// The only kernel preemptions allowed are the brief ones where a
+	// freshly created raw thread grabs the core to attach itself; under
+	// the raw fair class, 3x200ms on one core would produce dozens.
+	eng, k, proc, in := newTestStack(t, 1)
+	for i := 0; i < 3; i++ {
+		spawnAttached(k, in, proc, "hog", func(kt *kernel.Thread, task *Task) {
+			kt.Compute(200 * sim.Millisecond)
+		})
+	}
+	mustRun(t, eng)
+	if k.Stats.Preemptions > 3 {
+		t.Fatalf("preemptions = %d, want <=3 (attach noise only)", k.Stats.Preemptions)
+	}
+
+	// Control: the same load on the raw kernel interleaves heavily.
+	eng2 := sim.NewEngine(1)
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	k2 := kernel.New(eng2, cfg, kernel.DefaultSchedParams())
+	p2 := k2.NewProcess("raw")
+	for i := 0; i < 3; i++ {
+		k2.SpawnThread(p2, "hog", func(kt *kernel.Thread) {
+			kt.Compute(200 * sim.Millisecond)
+		})
+	}
+	if _, err := eng2.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if k2.Stats.Preemptions <= 10 {
+		t.Fatalf("raw kernel preemptions = %d, expected heavy interleaving", k2.Stats.Preemptions)
+	}
+}

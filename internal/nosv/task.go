@@ -1,0 +1,99 @@
+// Package nosv reproduces the nOS-V threading and tasking library (Álvarez
+// et al., IPDPS'24) as used by the paper's glibcv: tasks bound to worker
+// threads, a centralized multi-process scheduler fed through a shared
+// memory segment, the one-running-worker-per-core invariant, cooperative
+// scheduling points (pause/submit/yield/waitfor), and a per-process quantum
+// evaluated at those points.
+package nosv
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// TaskState tracks a task through its cooperative lifecycle.
+type TaskState int
+
+// Task states.
+const (
+	TaskReady   TaskState = iota // queued in the central scheduler
+	TaskRunning                  // its worker occupies a core
+	TaskBlocked                  // paused, waiting for a Submit
+	TaskDone
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case TaskReady:
+		return "ready"
+	case TaskRunning:
+		return "running"
+	case TaskBlocked:
+		return "blocked"
+	case TaskDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Task is a nOS-V task. Under glibcv every pthread is permanently bound to
+// one task (and vice versa), which is what keeps TLS working: the task can
+// only ever resume on its own thread.
+type Task struct {
+	ID  int
+	Pid kernel.Pid
+
+	inst   *Instance
+	worker *Worker
+	state  TaskState
+
+	// prefCore is the task's preferred core: the one it last ran on.
+	prefCore int
+	// queuedAt is policy-owned bookkeeping (which queue holds the task).
+	queuedAt int
+	// waitEv is the pending nosv_waitfor timer.
+	waitEv *sim.Event
+
+	// Label annotates traces and debugging output.
+	Label string
+}
+
+// State returns the task state.
+func (t *Task) State() TaskState { return t.state }
+
+// SetQueuedAt lets a policy record which of its queues holds the task.
+func (t *Task) SetQueuedAt(q int) { t.queuedAt = q }
+
+// QueuedAt returns the policy queue recorded by SetQueuedAt.
+func (t *Task) QueuedAt() int { return t.queuedAt }
+
+// PrefCore returns the task's preferred (= last) core, -1 before first run.
+func (t *Task) PrefCore() int { return t.prefCore }
+
+// Worker returns the worker thread the task is bound to.
+func (t *Task) Worker() *Worker { return t.worker }
+
+func (t *Task) String() string {
+	return fmt.Sprintf("task %d (%s, pid %d)", t.ID, t.Label, t.Pid)
+}
+
+// Worker is a worker thread recruited into nOS-V (via nosv_attach). The
+// worker parks on its futex whenever its task is off-CPU; the instance
+// wakes it pinned to a specific core when the scheduler places the task.
+type Worker struct {
+	KT   *kernel.Thread
+	task *Task
+
+	parkF *kernel.Futex // Word==1 means "stay parked"
+
+	// PendingFn is used by glibcv's thread cache: the function the
+	// cached worker should run when its next task gets placed.
+	PendingFn func()
+	// Shutdown asks a cached worker to exit its loop when next woken.
+	Shutdown bool
+}
+
+// Task returns the worker's currently bound task.
+func (w *Worker) Task() *Task { return w.task }

@@ -1,0 +1,304 @@
+// Package omp models an OpenMP runtime (fork-join worker teams) with the
+// two implementations the paper composes — GNU's gomp and LLVM's libomp —
+// and the OMP_WAIT_POLICY spectrum (active / hybrid / passive) whose
+// tuning §5.2 shows is decisive under oversubscription.
+//
+// Teams are cached per master thread, so repeated (possibly nested)
+// parallel regions reuse their pthreads, matching the paper's observation
+// that OpenMP runtimes "reuse pthreads efficiently" (§5.4).
+package omp
+
+import (
+	"fmt"
+
+	"repro/internal/glibc"
+	"repro/internal/sim"
+)
+
+// Flavor selects an OpenMP implementation.
+type Flavor int
+
+// Supported flavors.
+const (
+	Gomp   Flavor = iota // GNU libgomp
+	Libomp               // LLVM OpenMP
+)
+
+func (f Flavor) String() string {
+	if f == Gomp {
+		return "gomp"
+	}
+	return "libomp"
+}
+
+// WaitPolicy is OMP_WAIT_POLICY.
+type WaitPolicy int
+
+// Wait policies.
+const (
+	// WaitHybrid spins briefly, then blocks (both runtimes' default).
+	WaitHybrid WaitPolicy = iota
+	// WaitActive spins indefinitely.
+	WaitActive
+	// WaitPassive blocks immediately (recommended under
+	// oversubscription, used by all the paper's experiments).
+	WaitPassive
+)
+
+func (w WaitPolicy) String() string {
+	switch w {
+	case WaitActive:
+		return "active"
+	case WaitPassive:
+		return "passive"
+	}
+	return "hybrid"
+}
+
+// Config tunes a runtime instance.
+type Config struct {
+	Flavor     Flavor
+	NumThreads int // OMP_NUM_THREADS
+	WaitPolicy WaitPolicy
+	// SpinBeforeBlock is the hybrid policy's active phase. Zero picks
+	// the flavor default (gomp ~100µs, libomp ~200µs).
+	SpinBeforeBlock sim.Duration
+}
+
+// Runtime is one process's OpenMP runtime.
+type Runtime struct {
+	lib *glibc.Lib
+	cfg Config
+
+	teams map[*glibc.Pthread]*team
+
+	// Stats
+	RegionsRun int64
+}
+
+// New creates a runtime over the process's C library.
+func New(lib *glibc.Lib, cfg Config) *Runtime {
+	if cfg.NumThreads <= 0 {
+		cfg.NumThreads = lib.K.NumCores()
+	}
+	if cfg.SpinBeforeBlock == 0 {
+		if cfg.Flavor == Gomp {
+			cfg.SpinBeforeBlock = 100 * sim.Microsecond
+		} else {
+			cfg.SpinBeforeBlock = 200 * sim.Microsecond
+		}
+	}
+	return &Runtime{lib: lib, cfg: cfg, teams: make(map[*glibc.Pthread]*team)}
+}
+
+// Config returns the runtime configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// NumThreads returns the configured team width.
+func (r *Runtime) NumThreads() int { return r.cfg.NumThreads }
+
+// Parallel runs body(tid) on n threads (the calling thread is tid 0) and
+// returns when all have finished the region (implicit barrier).
+func (r *Runtime) Parallel(n int, body func(tid, nthreads int)) {
+	if n <= 0 {
+		n = r.cfg.NumThreads
+	}
+	r.RegionsRun++
+	if n == 1 {
+		body(0, 1)
+		return
+	}
+	tm := r.teamFor(r.lib.Self(), n)
+	tm.run(n, body)
+}
+
+// ParallelFor statically partitions [0, total) over the team.
+func (r *Runtime) ParallelFor(total int, body func(lo, hi int)) {
+	n := r.cfg.NumThreads
+	if n > total {
+		n = total
+	}
+	if n <= 1 {
+		body(0, total)
+		return
+	}
+	r.Parallel(n, func(tid, nth int) {
+		lo := tid * total / nth
+		hi := (tid + 1) * total / nth
+		if lo < hi {
+			body(lo, hi)
+		}
+	})
+}
+
+// Shutdown joins every cached team's workers. Call when the process is
+// done with OpenMP.
+func (r *Runtime) Shutdown() {
+	for _, tm := range r.teams {
+		tm.stopWorkers()
+	}
+	r.teams = make(map[*glibc.Pthread]*team)
+}
+
+// teamFor returns (growing as needed) the calling master's cached team.
+func (r *Runtime) teamFor(master *glibc.Pthread, n int) *team {
+	tm := r.teams[master]
+	if tm == nil {
+		tm = &team{r: r, master: master}
+		r.teams[master] = tm
+	}
+	tm.grow(n)
+	return tm
+}
+
+// team is a master thread's worker pool. Workers idle between regions
+// according to the wait policy.
+type team struct {
+	r       *Runtime
+	master  *glibc.Pthread
+	workers []*teamWorker
+
+	regionSeq int
+	regionN   int
+	body      func(tid, nth int)
+
+	// join barrier state (sense-reversing, policy-aware)
+	joinCount int
+	joinGen   int
+	joinSem   []*glibc.Sem // blocked joiners, one slot per participant
+	joinBlk   []bool
+}
+
+type teamWorker struct {
+	tm      *team
+	tid     int
+	pt      *glibc.Pthread
+	sem     *glibc.Sem
+	blocked bool
+	lastSeq int
+	stop    bool
+}
+
+func (tm *team) grow(n int) {
+	lib := tm.r.lib
+	for len(tm.workers) < n-1 {
+		tid := len(tm.workers) + 1
+		w := &teamWorker{tm: tm, tid: tid, sem: lib.NewSem(0)}
+		w.pt = lib.PthreadCreate(fmt.Sprintf("omp-%s-w%d", tm.r.cfg.Flavor, tid), func() {
+			w.loop()
+		})
+		tm.workers = append(tm.workers, w)
+	}
+	for len(tm.joinSem) < n {
+		tm.joinSem = append(tm.joinSem, lib.NewSem(0))
+		tm.joinBlk = append(tm.joinBlk, false)
+	}
+}
+
+// run launches one parallel region on the calling (master) thread.
+func (tm *team) run(n int, body func(tid, nth int)) {
+	tm.body = body
+	tm.regionN = n
+	tm.regionSeq++
+	for i := 0; i < n-1; i++ {
+		w := tm.workers[i]
+		if w.blocked {
+			w.sem.Post()
+		}
+	}
+	body(0, n)
+	tm.joinBarrier(0, n)
+}
+
+// loop is the worker body: wait for a region, run the slice, join.
+func (w *teamWorker) loop() {
+	for {
+		w.waitForRegion()
+		if w.stop {
+			return
+		}
+		tm := w.tm
+		w.lastSeq = tm.regionSeq
+		if w.tid < tm.regionN {
+			tm.body(w.tid, tm.regionN)
+			tm.joinBarrier(w.tid, tm.regionN)
+		}
+	}
+}
+
+// waitForRegion idles per OMP_WAIT_POLICY until a new region (or stop).
+func (w *teamWorker) waitForRegion() {
+	tm := w.tm
+	lib := tm.r.lib
+	cfg := tm.r.cfg
+	start := lib.K.Eng.Now()
+	for tm.regionSeq == w.lastSeq && !w.stop {
+		switch cfg.WaitPolicy {
+		case WaitActive:
+			lib.Compute(2 * sim.Microsecond)
+		case WaitPassive:
+			w.blocked = true
+			w.sem.Wait()
+			w.blocked = false
+		default: // hybrid
+			if lib.K.Eng.Now().Sub(start) < cfg.SpinBeforeBlock {
+				lib.Compute(2 * sim.Microsecond)
+			} else {
+				w.blocked = true
+				w.sem.Wait()
+				w.blocked = false
+			}
+		}
+	}
+}
+
+// joinBarrier is the implicit end-of-region barrier, honouring the wait
+// policy: passive participants block on semaphores; active ones spin.
+func (tm *team) joinBarrier(tid, n int) {
+	lib := tm.r.lib
+	cfg := tm.r.cfg
+	gen := tm.joinGen
+	tm.joinCount++
+	if tm.joinCount == n {
+		tm.joinCount = 0
+		tm.joinGen++
+		for i := 0; i < n; i++ {
+			if tm.joinBlk[i] {
+				tm.joinBlk[i] = false
+				tm.joinSem[i].Post()
+			}
+		}
+		return
+	}
+	start := lib.K.Eng.Now()
+	for tm.joinGen == gen {
+		switch cfg.WaitPolicy {
+		case WaitActive:
+			lib.Compute(2 * sim.Microsecond)
+		case WaitPassive:
+			tm.joinBlk[tid] = true
+			tm.joinSem[tid].Wait()
+		default:
+			if lib.K.Eng.Now().Sub(start) < cfg.SpinBeforeBlock {
+				lib.Compute(2 * sim.Microsecond)
+			} else {
+				tm.joinBlk[tid] = true
+				tm.joinSem[tid].Wait()
+			}
+		}
+	}
+}
+
+// stopWorkers terminates and joins the team's threads.
+func (tm *team) stopWorkers() {
+	for _, w := range tm.workers {
+		w.stop = true
+		if w.blocked {
+			w.sem.Post()
+		}
+	}
+	for _, w := range tm.workers {
+		tm.r.lib.PthreadJoin(w.pt)
+	}
+	tm.workers = nil
+}

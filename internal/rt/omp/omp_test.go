@@ -1,0 +1,203 @@
+package omp
+
+import (
+	"testing"
+
+	"repro/internal/glibc"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func stack(t *testing.T, cores int, usf bool) (*sim.Engine, *kernel.Kernel, glibc.Options) {
+	t.Helper()
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = cores
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	return eng, k, glibc.Options{USF: usf}
+}
+
+func TestParallelRunsAllThreads(t *testing.T) {
+	for _, usf := range []bool{false, true} {
+		eng, k, opts := stack(t, 4, usf)
+		seen := make(map[int]bool)
+		_, err := glibc.StartProcess(k, "app", opts, func(l *glibc.Lib) {
+			r := New(l, Config{NumThreads: 4, WaitPolicy: WaitPassive})
+			r.Parallel(4, func(tid, nth int) {
+				l.Compute(1 * sim.Millisecond)
+				seen[tid] = true
+			})
+			r.Shutdown()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RunAll(); err != nil {
+			t.Fatalf("usf=%v: %v", usf, err)
+		}
+		for tid := 0; tid < 4; tid++ {
+			if !seen[tid] {
+				t.Fatalf("usf=%v: tid %d never ran", usf, tid)
+			}
+		}
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	eng, k, opts := stack(t, 4, false)
+	covered := make([]bool, 100)
+	_, err := glibc.StartProcess(k, "app", opts, func(l *glibc.Lib) {
+		r := New(l, Config{NumThreads: 4, WaitPolicy: WaitPassive})
+		r.ParallelFor(100, func(lo, hi int) {
+			l.Compute(sim.Duration(hi-lo) * sim.Microsecond)
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Errorf("iteration %d covered twice", i)
+				}
+				covered[i] = true
+			}
+		})
+		r.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("iteration %d missed", i)
+		}
+	}
+}
+
+func TestTeamReuseAcrossRegions(t *testing.T) {
+	eng, k, opts := stack(t, 4, false)
+	_, err := glibc.StartProcess(k, "app", opts, func(l *glibc.Lib) {
+		r := New(l, Config{NumThreads: 4, WaitPolicy: WaitPassive})
+		for i := 0; i < 10; i++ {
+			r.Parallel(4, func(tid, nth int) {
+				l.Compute(100 * sim.Microsecond)
+			})
+		}
+		if l.Stats.ThreadsCreated > 3 {
+			t.Errorf("threads created = %d, want 3 (one team reused)", l.Stats.ThreadsCreated)
+		}
+		r.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedTeamsPerMaster(t *testing.T) {
+	// Outer parallelism: two pthreads each drive their own OpenMP
+	// region — the matmul nesting pattern. Each master must get a
+	// distinct cached team.
+	eng, k, opts := stack(t, 8, false)
+	total := 0
+	_, err := glibc.StartProcess(k, "app", opts, func(l *glibc.Lib) {
+		r := New(l, Config{NumThreads: 2, WaitPolicy: WaitPassive})
+		var pts []*glibc.Pthread
+		for i := 0; i < 2; i++ {
+			pts = append(pts, l.PthreadCreate("outer", func() {
+				for j := 0; j < 3; j++ {
+					r.Parallel(2, func(tid, nth int) {
+						l.Compute(500 * sim.Microsecond)
+						total++
+					})
+				}
+			}))
+		}
+		for _, pt := range pts {
+			l.PthreadJoin(pt)
+		}
+		r.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 12 {
+		t.Fatalf("total region-thread executions = %d, want 12", total)
+	}
+}
+
+func TestPassiveWorkersDontBurnCPU(t *testing.T) {
+	// After a region, passive workers block; a long serial phase should
+	// accumulate (almost) no CPU on them. Active workers spin the whole
+	// time. Compare CPU burnt by the two policies during the serial
+	// phase.
+	measure := func(p WaitPolicy) sim.Duration {
+		eng, k, opts := stack(t, 4, false)
+		var busy sim.Duration
+		_, err := glibc.StartProcess(k, "app", opts, func(l *glibc.Lib) {
+			r := New(l, Config{NumThreads: 4, WaitPolicy: p})
+			r.Parallel(4, func(tid, nth int) { l.Compute(100 * sim.Microsecond) })
+			l.Compute(20 * sim.Millisecond) // serial phase
+			threads := l.Proc.Threads()     // capture before workers exit
+			r.Shutdown()
+			for _, th := range threads {
+				busy += th.CPUTime
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return busy
+	}
+	passive := measure(WaitPassive)
+	active := measure(WaitActive)
+	if active < passive*2 {
+		t.Fatalf("active CPU %v vs passive %v: spinning not modelled", active, passive)
+	}
+}
+
+func TestHybridSpinsThenBlocks(t *testing.T) {
+	eng, k, opts := stack(t, 4, false)
+	_, err := glibc.StartProcess(k, "app", opts, func(l *glibc.Lib) {
+		r := New(l, Config{NumThreads: 4, WaitPolicy: WaitHybrid, SpinBeforeBlock: 50 * sim.Microsecond})
+		r.Parallel(4, func(tid, nth int) { l.Compute(10 * sim.Microsecond) })
+		// Long serial phase: hybrid workers must end up blocked, so
+		// total runnable should drop to 1 (just us).
+		l.Compute(5 * sim.Millisecond)
+		if k.TotalRunnable() != 1 {
+			t.Errorf("runnable = %d during serial phase, want 1 (workers blocked)", k.TotalRunnable())
+		}
+		r.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGompLibompDefaults(t *testing.T) {
+	_, k, opts := stack(t, 4, false)
+	_, err := glibc.StartProcess(k, "app", opts, func(l *glibc.Lib) {
+		g := New(l, Config{Flavor: Gomp})
+		v := New(l, Config{Flavor: Libomp})
+		if g.Config().SpinBeforeBlock >= v.Config().SpinBeforeBlock {
+			t.Error("flavor spin defaults should differ (gomp < libomp)")
+		}
+		if g.Config().NumThreads != k.NumCores() {
+			t.Errorf("default NumThreads = %d, want %d", g.Config().NumThreads, k.NumCores())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

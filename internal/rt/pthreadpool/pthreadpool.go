@@ -1,0 +1,153 @@
+// Package pthreadpool models the fork-join pool PyTorch uses for CPU
+// kernels outside BLAS (Maratyszcza's pthreadpool): a persistent set of
+// pthreads that spin briefly for work and block otherwise, dispatched via
+// parallelize_1d. It appears in the paper's microservices case study
+// (§5.5), where each inference server drives it under Python processes.
+package pthreadpool
+
+import (
+	"fmt"
+
+	"repro/internal/glibc"
+	"repro/internal/sim"
+)
+
+// Pool is a pthreadpool instance.
+type Pool struct {
+	lib *glibc.Lib
+	n   int
+
+	jobSeq  int
+	jobN    int
+	body    func(lo, hi int)
+	items   int
+	done    int
+	doneSem *glibc.Sem
+
+	workers []*worker
+	stopped bool
+
+	JobsRun int64
+}
+
+type worker struct {
+	p       *Pool
+	tid     int
+	pt      *glibc.Pthread
+	lastSeq int
+	sem     *glibc.Sem
+	blocked bool
+}
+
+// spinForWork is pthreadpool's brief active wait.
+const spinForWork = 50 * sim.Microsecond
+
+// New creates a pool of n threads (including the caller's share: n-1
+// pthreads are spawned; the caller participates in Parallelize).
+func New(lib *glibc.Lib, n int) *Pool {
+	if n <= 0 {
+		n = lib.K.NumCores()
+	}
+	p := &Pool{lib: lib, n: n, doneSem: lib.NewSem(0)}
+	for i := 1; i < n; i++ {
+		w := &worker{p: p, tid: i, sem: lib.NewSem(0)}
+		w.pt = lib.PthreadCreate(fmt.Sprintf("pthreadpool-w%d", i), w.loop)
+		p.workers = append(p.workers, w)
+	}
+	return p
+}
+
+// Threads returns the pool width.
+func (p *Pool) Threads() int { return p.n }
+
+// Parallelize runs body over [0, items) split across the pool, blocking
+// until every chunk completes (pthreadpool_parallelize_1d).
+func (p *Pool) Parallelize(items int, body func(lo, hi int)) {
+	if items <= 0 {
+		return
+	}
+	p.JobsRun++
+	if p.n == 1 || items == 1 {
+		body(0, items)
+		return
+	}
+	p.body = body
+	p.items = items
+	p.jobN = p.n
+	if p.jobN > items {
+		p.jobN = items
+	}
+	p.done = 0
+	p.jobSeq++
+	for _, w := range p.workers {
+		if w.blocked {
+			w.sem.Post()
+		}
+	}
+	p.runChunk(0)
+	// The caller waits for the stragglers (spin-then-block, like the
+	// real pool).
+	lib := p.lib
+	start := lib.K.Eng.Now()
+	for p.done < p.jobN {
+		if lib.K.Eng.Now().Sub(start) < spinForWork {
+			lib.Compute(2 * sim.Microsecond)
+			continue
+		}
+		p.doneSem.Wait()
+	}
+}
+
+func (p *Pool) runChunk(tid int) {
+	if tid >= p.jobN {
+		return
+	}
+	lo := tid * p.items / p.jobN
+	hi := (tid + 1) * p.items / p.jobN
+	if lo < hi {
+		p.body(lo, hi)
+	}
+	p.done++
+	if p.done >= p.jobN {
+		p.doneSem.Post()
+	}
+}
+
+// Shutdown stops and joins the pool threads.
+func (p *Pool) Shutdown() {
+	p.stopped = true
+	for _, w := range p.workers {
+		if w.blocked {
+			w.sem.Post()
+		}
+	}
+	for _, w := range p.workers {
+		p.lib.PthreadJoin(w.pt)
+	}
+	p.workers = nil
+}
+
+func (w *worker) loop() {
+	p := w.p
+	lib := p.lib
+	for {
+		if p.stopped {
+			return
+		}
+		if p.jobSeq != w.lastSeq {
+			w.lastSeq = p.jobSeq
+			p.runChunk(w.tid)
+			continue
+		}
+		start := lib.K.Eng.Now()
+		for p.jobSeq == w.lastSeq && !p.stopped &&
+			lib.K.Eng.Now().Sub(start) < spinForWork {
+			lib.Compute(2 * sim.Microsecond)
+		}
+		if p.jobSeq == w.lastSeq && !p.stopped {
+			w.blocked = true
+			w.sem.Wait()
+			w.blocked = false
+		}
+	}
+}

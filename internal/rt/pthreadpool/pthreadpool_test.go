@@ -1,0 +1,106 @@
+package pthreadpool
+
+import (
+	"testing"
+
+	"repro/internal/glibc"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func runApp(t *testing.T, cores int, usf bool, app func(l *glibc.Lib)) {
+	t.Helper()
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = cores
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	if _, err := glibc.StartProcess(k, "app", glibc.Options{USF: usf}, app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelizeCoversRange(t *testing.T) {
+	for _, usf := range []bool{false, true} {
+		covered := make([]bool, 40)
+		runApp(t, 4, usf, func(l *glibc.Lib) {
+			p := New(l, 4)
+			p.Parallelize(40, func(lo, hi int) {
+				l.Compute(sim.Duration(hi-lo) * 50 * sim.Microsecond)
+				for i := lo; i < hi; i++ {
+					covered[i] = true
+				}
+			})
+			p.Shutdown()
+		})
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("usf=%v: item %d missed", usf, i)
+			}
+		}
+	}
+}
+
+func TestRepeatedJobsReuseThreads(t *testing.T) {
+	runApp(t, 4, false, func(l *glibc.Lib) {
+		p := New(l, 4)
+		for j := 0; j < 10; j++ {
+			p.Parallelize(16, func(lo, hi int) {
+				l.Compute(100 * sim.Microsecond)
+			})
+		}
+		if l.Stats.ThreadsCreated != 3 {
+			t.Errorf("threads created = %d, want 3 (persistent pool)", l.Stats.ThreadsCreated)
+		}
+		p.Shutdown()
+	})
+}
+
+func TestSingleThreadPoolInlines(t *testing.T) {
+	runApp(t, 2, false, func(l *glibc.Lib) {
+		p := New(l, 1)
+		ran := false
+		p.Parallelize(5, func(lo, hi int) {
+			if lo != 0 || hi != 5 {
+				t.Errorf("chunk = [%d,%d), want [0,5)", lo, hi)
+			}
+			ran = true
+		})
+		if !ran {
+			t.Error("body not run")
+		}
+		if l.Stats.ThreadsCreated != 0 {
+			t.Errorf("threads created = %d, want 0", l.Stats.ThreadsCreated)
+		}
+		p.Shutdown()
+	})
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	var t4, t1 sim.Time
+	runApp(t, 4, false, func(l *glibc.Lib) {
+		p := New(l, 4)
+		start := l.K.Eng.Now()
+		p.Parallelize(4, func(lo, hi int) {
+			l.Compute(sim.Duration(hi-lo) * 10 * sim.Millisecond)
+		})
+		t4 = l.K.Eng.Now() - start
+		p.Shutdown()
+	})
+	runApp(t, 4, false, func(l *glibc.Lib) {
+		p := New(l, 1)
+		start := l.K.Eng.Now()
+		p.Parallelize(4, func(lo, hi int) {
+			l.Compute(sim.Duration(hi-lo) * 10 * sim.Millisecond)
+		})
+		t1 = l.K.Eng.Now() - start
+		p.Shutdown()
+	})
+	if float64(t1)/float64(t4) < 3 {
+		t.Fatalf("speedup = %.2f, want ~4 (t1=%v t4=%v)", float64(t1)/float64(t4), t1, t4)
+	}
+}

@@ -1,0 +1,88 @@
+// Package spin provides the custom busy-wait synchronisation used inside
+// BLAS libraries and MPI progress engines — the constructs §5.2 of the
+// paper identifies as the main hazard under oversubscription. A Barrier
+// spins on a generation counter; the optional Yield flag is the paper's
+// one-line `sched_yield()` patch applied to OpenBLAS, BLIS and MPICH.
+//
+// Under the standard scheduler, spinning burns time slices and delays the
+// releasing thread (Fig. 3d's collapse); with Yield, threads relinquish
+// early. Under glibcv, sched_yield becomes a nOS-V yield, giving exact,
+// targeted handoffs; without Yield a spinning task can hold its core
+// forever (§4.4's documented limitation — experiments then hit their
+// timeout horizon, the paper's white squares).
+package spin
+
+import (
+	"repro/internal/glibc"
+	"repro/internal/sim"
+)
+
+// baseChunk is the smallest simulated spin burst.
+const baseChunk = 500 * sim.Nanosecond
+
+// maxChunkYield caps spin bursts when yielding (to keep yields frequent);
+// maxChunkNoYield caps them otherwise (to bound event counts).
+const (
+	maxChunkYield   = 16 * sim.Microsecond
+	maxChunkNoYield = 512 * sim.Microsecond
+)
+
+// chunk returns the spin burst for the i-th iteration (exponential
+// back-off of the simulation granularity, not of the spinning itself).
+func chunk(i int, yield bool) sim.Duration {
+	c := baseChunk << uint(i)
+	max := maxChunkNoYield
+	if yield {
+		max = maxChunkYield
+	}
+	if c > max || c <= 0 {
+		return max
+	}
+	return c
+}
+
+// Until busy-waits until pred() holds, charging CPU the whole time. If
+// yield is true, a sched_yield is issued every few bursts.
+func Until(l *glibc.Lib, pred func() bool, yield bool) {
+	spins := 0
+	for !pred() {
+		l.Compute(chunk(spins, yield))
+		spins++
+		if yield && spins%2 == 0 {
+			l.SchedYield()
+		}
+	}
+}
+
+// Barrier is a centralized sense-reversing busy-wait barrier, the shape
+// used by OpenBLAS/BLIS thread teams.
+type Barrier struct {
+	// Lib is the C library of the participating threads.
+	Lib *glibc.Lib
+	// N is the participant count.
+	N int
+	// Yield enables the sched_yield patch.
+	Yield bool
+
+	count int
+	gen   int
+}
+
+// NewBarrier returns a busy-wait barrier for n threads.
+func NewBarrier(l *glibc.Lib, n int, yield bool) *Barrier {
+	return &Barrier{Lib: l, N: n, Yield: yield}
+}
+
+// Wait blocks (spinning) until all N participants arrive. The releasing
+// participant returns true.
+func (b *Barrier) Wait() bool {
+	gen := b.gen
+	b.count++
+	if b.count == b.N {
+		b.count = 0
+		b.gen++
+		return true
+	}
+	Until(b.Lib, func() bool { return b.gen != gen }, b.Yield)
+	return false
+}

@@ -1,0 +1,104 @@
+package sim
+
+import "fmt"
+
+// Engine is the discrete-event simulation driver. It owns the virtual clock
+// and the event queue, and it schedules procs (coroutine-style goroutines)
+// one at a time: at any instant exactly one proc — or the engine itself —
+// is executing, so simulations are race-free and deterministic without
+// locks.
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+	rng  *Rand
+
+	cur     *Proc
+	back    chan struct{} // procs hand control back to the driver here
+	nextPID int
+	live    int // procs spawned and not yet exited
+	procs   []*Proc
+
+	panicVal any // panic propagated out of a proc
+	stopped  bool
+}
+
+// NewEngine returns an engine whose RNG streams derive from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:  NewRand(seed),
+		back: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns an independent RNG stream for the given label.
+func (e *Engine) Rand(label string) *Rand { return e.rng.Stream(label) }
+
+// At schedules fn to run at virtual time t (>= now). It returns the event,
+// which may be cancelled.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, idx: -1}
+	e.heap.push(ev)
+	return ev
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Live reports the number of procs that have been spawned and not yet
+// exited. After Run returns, a non-zero value with an empty queue usually
+// indicates a deadlock in the simulated system.
+func (e *Engine) Live() int { return e.live }
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return e.heap.len() }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue drains, the horizon passes, or Stop
+// is called. It returns the time at which processing stopped and an error
+// if the simulated system deadlocked (no events left but live procs
+// remain parked).
+func (e *Engine) Run(until Time) (Time, error) {
+	e.stopped = false
+	for !e.stopped && e.heap.len() > 0 {
+		ev := e.heap.pop()
+		if ev.canceled {
+			continue
+		}
+		if ev.at > until {
+			// Leave the event for a later Run call.
+			e.heap.push(ev)
+			e.now = until
+			return e.now, nil
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.panicVal != nil {
+			panic(e.panicVal)
+		}
+	}
+	if e.stopped {
+		return e.now, nil
+	}
+	if e.live > 0 {
+		return e.now, fmt.Errorf("sim: deadlock at %v: %d procs parked with no pending events", e.now, e.live)
+	}
+	return e.now, nil
+}
+
+// RunAll runs with no horizon.
+func (e *Engine) RunAll() (Time, error) { return e.Run(Forever) }

@@ -1,0 +1,98 @@
+package sim
+
+// Event is a scheduled callback in virtual time. Events are created through
+// Engine.At / Engine.After and may be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64 // insertion order; total tie-break for determinism
+	fn       func()
+	idx      int // heap index, -1 when not queued
+	canceled bool
+}
+
+// When returns the virtual time at which the event is scheduled to fire.
+func (e *Event) When() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel is O(log n).
+func (e *Event) Cancel() {
+	if e == nil || e.canceled || e.idx < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). We implement it by
+// hand rather than via container/heap to avoid interface boxing on the hot
+// path; the simulator pushes and pops millions of events per run.
+type eventHeap struct {
+	ev []*Event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.ev[i], h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
+	h.ev[i].idx = i
+	h.ev[j].idx = j
+}
+
+func (h *eventHeap) push(e *Event) {
+	e.idx = len(h.ev)
+	h.ev = append(h.ev, e)
+	h.up(e.idx)
+}
+
+func (h *eventHeap) pop() *Event {
+	n := len(h.ev) - 1
+	h.swap(0, n)
+	e := h.ev[n]
+	h.ev[n] = nil
+	h.ev = h.ev[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	e.idx = -1
+	return e
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.ev)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// ProcState describes the lifecycle of a proc.
+type ProcState int
+
+// Proc lifecycle states.
+const (
+	ProcCreated ProcState = iota // spawned, never run
+	ProcRunning                  // currently executing
+	ProcParked                   // waiting for Ready
+	ProcExited                   // function returned
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case ProcCreated:
+		return "created"
+	case ProcRunning:
+		return "running"
+	case ProcParked:
+		return "parked"
+	case ProcExited:
+		return "exited"
+	}
+	return "unknown"
+}
+
+// Proc is a simulated activity: a goroutine that runs only when the engine
+// hands it control, and that returns control by parking or exiting. All
+// simulated threads, interrupt handlers with complex logic, and workload
+// drivers are procs.
+type Proc struct {
+	ID   int
+	Name string
+
+	eng     *Engine
+	resume  chan struct{}
+	state   ProcState
+	pending bool // a resume event is queued
+	killed  bool
+}
+
+// killSentinel unwinds a killed proc's goroutine from inside Park.
+type killSentinel struct{}
+
+// State returns the proc's lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+func (p *Proc) String() string { return fmt.Sprintf("proc %d (%s)", p.ID, p.Name) }
+
+// Spawn creates a proc running fn. The proc does not start until Ready is
+// called (typically immediately by the caller, or by a scheduler model when
+// it dispatches the underlying thread).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		ID:     e.nextPID,
+		Name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		state:  ProcCreated,
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killSentinel); !isKill {
+					e.panicVal = fmt.Errorf("sim: panic in %v: %v\n%s", p, r, debug.Stack())
+				}
+			}
+			p.state = ProcExited
+			e.live--
+			e.cur = nil
+			e.back <- struct{}{}
+		}()
+		if p.killed {
+			return
+		}
+		fn(p)
+	}()
+	return p
+}
+
+// Ready schedules p to resume at the current virtual time (after currently
+// queued same-time events). Calling Ready on an exited or already-readied
+// proc is a no-op. Calling it on the currently running proc is allowed: the
+// resume event fires only once the proc has parked (control returns to the
+// engine), which lets scheduler models re-dispatch a thread that is mid-way
+// through voluntarily going off-CPU.
+func (e *Engine) Ready(p *Proc) {
+	if p.state == ProcExited || p.pending {
+		return
+	}
+	p.pending = true
+	e.At(e.now, func() { e.dispatch(p) })
+}
+
+// dispatch transfers control to p and blocks until p parks or exits.
+func (e *Engine) dispatch(p *Proc) {
+	p.pending = false
+	if p.state == ProcExited {
+		return
+	}
+	if p.state == ProcRunning {
+		panic(fmt.Sprintf("sim: resume event fired while %v still running", p))
+	}
+	if e.cur != nil {
+		panic(fmt.Sprintf("sim: dispatch of %v while %v is running", p, e.cur))
+	}
+	e.cur = p
+	p.state = ProcRunning
+	p.resume <- struct{}{}
+	<-e.back
+}
+
+// Park suspends the calling proc until Ready is invoked on it. It must be
+// called from within the proc's own goroutine.
+func (p *Proc) Park() {
+	e := p.eng
+	if e.cur != p {
+		panic(fmt.Sprintf("sim: Park called on %v from outside its goroutine", p))
+	}
+	p.state = ProcParked
+	e.cur = nil
+	e.back <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+}
+
+// Kill terminates a proc: the next time it would resume, its goroutine
+// unwinds (running deferred functions) instead of continuing. Used to
+// model process exit tearing down its remaining threads. Killing the
+// currently running proc or an exited proc is not allowed / a no-op.
+func (e *Engine) Kill(p *Proc) {
+	if p.state == ProcExited || p.killed {
+		return
+	}
+	if p.state == ProcRunning {
+		panic(fmt.Sprintf("sim: Kill of running %v", p))
+	}
+	p.killed = true
+	e.Ready(p)
+}
+
+// KillAll terminates every live proc and drains the resulting unwinding,
+// releasing all goroutines. Used to abandon a timed-out experiment without
+// leaking goroutines. The event queue may still hold (cancelled or inert)
+// timers afterwards; the engine should be discarded.
+func (e *Engine) KillAll() {
+	for _, p := range e.procs {
+		if p.state != ProcExited && p.state != ProcRunning {
+			e.Kill(p)
+		}
+	}
+	// Drain only the kill resumes: run until no live procs remain or
+	// nothing more fires.
+	for e.live > 0 && e.heap.len() > 0 {
+		ev := e.heap.pop()
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.panicVal != nil {
+			panic(e.panicVal)
+		}
+	}
+}
+
+// Current returns the proc currently executing, or nil when the engine
+// itself (an event callback) is running.
+func (e *Engine) Current() *Proc { return e.cur }
+
+// Sleep parks the calling proc for d of virtual time. This is a low-level
+// helper for drivers; simulated threads should sleep via their kernel.
+func (p *Proc) Sleep(d Duration) {
+	p.eng.After(d, func() { p.eng.Ready(p) })
+	p.Park()
+}

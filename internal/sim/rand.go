@@ -1,0 +1,76 @@
+package sim
+
+import "math"
+
+// Rand is a small deterministic PRNG (splitmix64). Every stochastic element
+// of a simulation draws from a named stream so that adding a new consumer
+// never perturbs existing draws.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Stream derives an independent child generator from a label, so separate
+// subsystems consume independent sequences.
+func (r *Rand) Stream(label string) *Rand {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return NewRand(r.state ^ h ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1.
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// NormFloat64 returns a normally distributed value (mean 0, stddev 1),
+// using the Box-Muller transform.
+func (r *Rand) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f]. Used to model
+// small per-operation variability in compute costs.
+func (r *Rand) Jitter(d Duration, f float64) Duration {
+	if f <= 0 {
+		return d
+	}
+	scale := 1 + f*(2*r.Float64()-1)
+	return Duration(float64(d) * scale)
+}

@@ -1,0 +1,110 @@
+// Package stack wires complete simulated systems for the paper's four
+// software stacks (Fig. 2): Original, Baseline, Manual, and SCHED_COOP.
+// Experiment drivers build a System, start processes in a chosen mode, and
+// run the engine.
+package stack
+
+import (
+	"repro/internal/glibc"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/nosv"
+	"repro/internal/sim"
+	"repro/internal/usf"
+)
+
+// Mode selects one of the paper's evaluated stacks (Fig. 2).
+type Mode int
+
+// Stack modes.
+const (
+	// ModeOriginal: stock glibc, unpatched busy-wait barriers.
+	ModeOriginal Mode = iota
+	// ModeBaseline: stock glibc, sched_yield patch in busy-wait
+	// barriers (the paper's reference point).
+	ModeBaseline
+	// ModeManual: glibcv/nOS-V with hand-tuned integration (blocking
+	// primitives replace busy-wait inside the libraries).
+	ModeManual
+	// ModeCoop: glibcv with SCHED_COOP, fully transparent.
+	ModeCoop
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOriginal:
+		return "original"
+	case ModeBaseline:
+		return "baseline"
+	case ModeManual:
+		return "manual"
+	}
+	return "sched_coop"
+}
+
+// UsesUSF reports whether the mode runs processes under glibcv.
+func (m Mode) UsesUSF() bool { return m == ModeManual || m == ModeCoop }
+
+// YieldInBarrier reports whether busy-wait barriers carry the sched_yield
+// patch in this mode (everything except Original).
+func (m Mode) YieldInBarrier() bool { return m != ModeOriginal }
+
+// BlockingBarrier reports whether libraries use blocking primitives
+// instead of busy-wait (the Manual integration).
+func (m Mode) BlockingBarrier() bool { return m == ModeManual }
+
+// System is a fully wired simulated machine.
+type System struct {
+	Eng *sim.Engine
+	K   *kernel.Kernel
+	// Coop is the SCHED_COOP policy instance (nil until the first USF
+	// process starts).
+	Coop *usf.SchedCoop
+	// CoopConfig configures the policy created for USF processes.
+	CoopConfig usf.CoopConfig
+}
+
+// New builds a system on the given machine.
+func New(machine hw.Config, seed uint64) *System {
+	return NewWithParams(machine, seed, kernel.DefaultSchedParams())
+}
+
+// NewWithParams builds a system with explicit kernel scheduler parameters.
+func NewWithParams(machine hw.Config, seed uint64, params kernel.SchedParams) *System {
+	eng := sim.NewEngine(seed)
+	k := kernel.New(eng, machine, params)
+	return &System{Eng: eng, K: k, CoopConfig: usf.DefaultCoopConfig()}
+}
+
+// Start launches a process under the given mode. Affinity/nice and other
+// per-process options come via opts (USF/Policy fields are overridden by
+// the mode).
+func (s *System) Start(name string, mode Mode, opts glibc.Options, main func(l *glibc.Lib)) (*glibc.Lib, error) {
+	opts.USF = mode.UsesUSF()
+	if opts.USF {
+		opts.Policy = func() nosv.Policy {
+			s.Coop = usf.NewSchedCoop(s.CoopConfig)
+			return s.Coop
+		}
+	}
+	return glibc.StartProcess(s.K, name, opts, main)
+}
+
+// Run drives the simulation to completion with a horizon; it reports
+// whether the horizon was hit (the paper's timed-out white squares) and
+// tears the system down in that case.
+func (s *System) Run(horizon sim.Duration) (timedOut bool, err error) {
+	until := sim.Forever
+	if horizon > 0 {
+		until = s.Eng.Now().Add(horizon)
+	}
+	end, err := s.Eng.Run(until)
+	if err != nil {
+		return false, err
+	}
+	if s.Eng.Live() > 0 && end >= until {
+		s.Eng.KillAll()
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,85 @@
+package stack
+
+import (
+	"testing"
+
+	"repro/internal/glibc"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestModeProperties(t *testing.T) {
+	cases := []struct {
+		mode     Mode
+		usf      bool
+		yield    bool
+		blocking bool
+		name     string
+	}{
+		{ModeOriginal, false, false, false, "original"},
+		{ModeBaseline, false, true, false, "baseline"},
+		{ModeManual, true, true, true, "manual"},
+		{ModeCoop, true, true, false, "sched_coop"},
+	}
+	for _, c := range cases {
+		if c.mode.UsesUSF() != c.usf || c.mode.YieldInBarrier() != c.yield ||
+			c.mode.BlockingBarrier() != c.blocking || c.mode.String() != c.name {
+			t.Fatalf("mode %v properties wrong", c.mode)
+		}
+	}
+}
+
+func TestStartWiresCoopPolicy(t *testing.T) {
+	sys := New(hw.SmallNode(), 1)
+	_, err := sys.Start("app", ModeCoop, glibc.Options{}, func(l *glibc.Lib) {
+		l.Compute(1 * sim.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Coop == nil {
+		t.Fatal("SCHED_COOP policy not created for USF process")
+	}
+	if _, err := sys.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHorizonTimesOutAndTearsDown(t *testing.T) {
+	sys := New(hw.SmallNode(), 1)
+	_, err := sys.Start("app", ModeBaseline, glibc.Options{}, func(l *glibc.Lib) {
+		for {
+			l.Compute(10 * sim.Millisecond) // never finishes
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timedOut, err := sys.Run(50 * sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Fatal("horizon not reported")
+	}
+	if sys.Eng.Live() != 0 {
+		t.Fatalf("live procs after teardown: %d", sys.Eng.Live())
+	}
+}
+
+func TestRunCompletesBeforeHorizon(t *testing.T) {
+	sys := New(hw.SmallNode(), 1)
+	_, err := sys.Start("app", ModeBaseline, glibc.Options{}, func(l *glibc.Lib) {
+		l.Compute(5 * sim.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timedOut, err := sys.Run(10 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timedOut {
+		t.Fatal("spurious timeout")
+	}
+}

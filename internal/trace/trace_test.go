@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBufferUnbounded(t *testing.T) {
+	b := NewBuffer(0)
+	for i := 0; i < 100; i++ {
+		b.Add(Event{At: sim.Time(i)})
+	}
+	if b.Len() != 100 || b.Dropped != 0 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped)
+	}
+	evs := b.Events()
+	for i := range evs {
+		if evs[i].At != sim.Time(i) {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestBufferRingDropsOldest(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Add(Event{At: sim.Time(i)})
+	}
+	if b.Len() != 4 || b.Dropped != 6 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped)
+	}
+	evs := b.Events()
+	if evs[0].At != 6 || evs[3].At != 9 {
+		t.Fatalf("ring contents %v", evs)
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	b := NewBuffer(0)
+	b.Add(Event{At: 1000, Kind: KindRunStart, Core: 2, Thread: "w", TID: 7})
+	b.Add(Event{At: 3000, Kind: KindRunEnd, Core: 2, Thread: "w", TID: 7})
+	b.Add(Event{At: 4000, Kind: KindWake, Core: 2, Thread: "x", TID: 8})
+	var buf bytes.Buffer
+	if err := b.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 3 {
+		t.Fatalf("events = %d", len(out))
+	}
+	if out[0]["ph"] != "B" || out[1]["ph"] != "E" || out[2]["ph"] != "i" {
+		t.Fatalf("phases wrong: %v", out)
+	}
+	if out[0]["ts"].(float64) != 1.0 {
+		t.Fatalf("ts = %v, want µs", out[0]["ts"])
+	}
+}

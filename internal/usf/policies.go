@@ -1,0 +1,127 @@
+package usf
+
+import (
+	"repro/internal/nosv"
+)
+
+// LIFOPolicy is a depth-first policy: the most recently readied task runs
+// first, with no affinity or fairness. It exists to demonstrate that USF
+// policies are pluggable (and is a reasonable choice for fork-join
+// recursion, where the newest task has the hottest cache).
+type LIFOPolicy struct {
+	in    *nosv.Instance
+	stack []*nosv.Task
+}
+
+// NewLIFO returns a LIFOPolicy.
+func NewLIFO() *LIFOPolicy { return &LIFOPolicy{} }
+
+// Name implements nosv.Policy.
+func (p *LIFOPolicy) Name() string { return "lifo" }
+
+// Bind implements nosv.Policy.
+func (p *LIFOPolicy) Bind(in *nosv.Instance) { p.in = in }
+
+// Ready implements nosv.Policy.
+func (p *LIFOPolicy) Ready(t *nosv.Task, yield bool) int {
+	if !yield {
+		if pref := t.PrefCore(); pref >= 0 && p.in.IsIdle(pref) {
+			return pref
+		}
+		if c := p.in.FirstIdleCore(); c >= 0 {
+			return c
+		}
+	}
+	p.stack = append(p.stack, t)
+	return -1
+}
+
+// Next implements nosv.Policy.
+func (p *LIFOPolicy) Next(core int) *nosv.Task {
+	n := len(p.stack)
+	if n == 0 {
+		return nil
+	}
+	t := p.stack[n-1]
+	p.stack = p.stack[:n-1]
+	return t
+}
+
+// Remove implements nosv.Policy.
+func (p *LIFOPolicy) Remove(t *nosv.Task) {
+	for i, x := range p.stack {
+		if x == t {
+			copy(p.stack[i:], p.stack[i+1:])
+			p.stack = p.stack[:len(p.stack)-1]
+			return
+		}
+	}
+}
+
+// PriorityPolicy schedules ready tasks by a user-assigned per-process
+// priority (higher first), FIFO within a level. It demonstrates a policy
+// that a latency-critical gateway process could use instead of nice
+// levels — the kind of ad-hoc policy §7 of the paper envisions users
+// writing on USF.
+type PriorityPolicy struct {
+	in *nosv.Instance
+	// Prio maps pid -> priority; unlisted processes get 0.
+	Prio map[int]int
+	q    []*nosv.Task
+}
+
+// NewPriority returns a PriorityPolicy with the given pid->priority map.
+func NewPriority(prio map[int]int) *PriorityPolicy {
+	if prio == nil {
+		prio = make(map[int]int)
+	}
+	return &PriorityPolicy{Prio: prio}
+}
+
+// Name implements nosv.Policy.
+func (p *PriorityPolicy) Name() string { return "priority" }
+
+// Bind implements nosv.Policy.
+func (p *PriorityPolicy) Bind(in *nosv.Instance) { p.in = in }
+
+func (p *PriorityPolicy) prioOf(t *nosv.Task) int { return p.Prio[int(t.Pid)] }
+
+// Ready implements nosv.Policy.
+func (p *PriorityPolicy) Ready(t *nosv.Task, yield bool) int {
+	if !yield {
+		if c := p.in.FirstIdleCore(); c >= 0 {
+			return c
+		}
+	}
+	// Insert keeping the queue sorted by descending priority, FIFO
+	// within equal priorities.
+	i := len(p.q)
+	for i > 0 && p.prioOf(p.q[i-1]) < p.prioOf(t) {
+		i--
+	}
+	p.q = append(p.q, nil)
+	copy(p.q[i+1:], p.q[i:])
+	p.q[i] = t
+	return -1
+}
+
+// Next implements nosv.Policy.
+func (p *PriorityPolicy) Next(core int) *nosv.Task {
+	if len(p.q) == 0 {
+		return nil
+	}
+	t := p.q[0]
+	p.q = p.q[1:]
+	return t
+}
+
+// Remove implements nosv.Policy.
+func (p *PriorityPolicy) Remove(t *nosv.Task) {
+	for i, x := range p.q {
+		if x == t {
+			copy(p.q[i:], p.q[i+1:])
+			p.q = p.q[:len(p.q)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package inference
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// fastCfg returns a heavily scaled-down configuration (1% of paper sizing)
+// on the 16-core machine.
+func fastCfg(scheme Scheme, rate float64) Config {
+	models := []Model{
+		{Name: "llama", Work: 5770 * sim.Millisecond, SerialFrac: 0.06, Threads: 8, OptShare: 0.64},
+		{Name: "gpt2", Work: 1010 * sim.Millisecond, SerialFrac: 0.06, Threads: 4, OptShare: 0.21},
+		{Name: "roberta", Work: 676 * sim.Millisecond, SerialFrac: 0.06, Threads: 4, OptShare: 0.14},
+	}
+	return Config{
+		Machine:  hw.DualSocket16(),
+		Scheme:   scheme,
+		Rate:     rate,
+		Requests: 6,
+		Batches:  4,
+		Scale:    0.2,
+		Models:   models,
+		Horizon:  10 * sim.Second * 60,
+		Seed:     7,
+	}
+}
+
+func TestAllSchemesComplete(t *testing.T) {
+	for _, s := range []Scheme{BlNone, BlEq, BlOpt, BlNoneSeq, Coop} {
+		res := Run(fastCfg(s, 1.0))
+		if res.TimedOut {
+			t.Fatalf("%v timed out", s)
+		}
+		if len(res.Latencies) != 6 {
+			t.Fatalf("%v: %d requests completed", s, len(res.Latencies))
+		}
+		if res.Throughput <= 0 || res.Stats.Mean <= 0 {
+			t.Fatalf("%v: empty stats %+v", s, res.Stats)
+		}
+	}
+}
+
+func TestTimelineOrdering(t *testing.T) {
+	res := Run(fastCfg(Coop, 1.0))
+	for _, tr := range res.Timeline {
+		if tr.Completed <= tr.Submitted {
+			t.Fatalf("request %d completed %v before submission %v", tr.ID, tr.Completed, tr.Submitted)
+		}
+	}
+}
+
+func TestEqualPartitionWorstAtLoad(t *testing.T) {
+	// bl-eq starves LLaMA (paper: worst latency of all schemes).
+	eq := Run(fastCfg(BlEq, 1.5))
+	none := Run(fastCfg(BlNone, 1.5))
+	if eq.TimedOut || none.TimedOut {
+		t.Fatal("timeout")
+	}
+	if eq.Stats.Mean < none.Stats.Mean {
+		t.Fatalf("bl-eq mean %v < bl-none %v; partition imbalance not visible", eq.Stats.Mean, none.Stats.Mean)
+	}
+}
+
+func TestCoopAtLeastMatchesBlNoneUnderLoad(t *testing.T) {
+	none := Run(fastCfg(BlNone, 2.0))
+	coop := Run(fastCfg(Coop, 2.0))
+	if none.TimedOut || coop.TimedOut {
+		t.Fatal("timeout")
+	}
+	if float64(coop.Stats.Mean) > float64(none.Stats.Mean)*1.15 {
+		t.Fatalf("coop mean %v much worse than bl-none %v", coop.Stats.Mean, none.Stats.Mean)
+	}
+}
+
+func TestSeqStableButSlowAtLowRate(t *testing.T) {
+	// At low request rates bl-none-seq leaves cores idle: its latency
+	// must exceed the parallel bl-none.
+	seq := Run(fastCfg(BlNoneSeq, 0.2))
+	none := Run(fastCfg(BlNone, 0.2))
+	if seq.TimedOut || none.TimedOut {
+		t.Fatal("timeout")
+	}
+	if seq.Stats.Mean <= none.Stats.Mean {
+		t.Fatalf("seq mean %v <= parallel %v at low rate", seq.Stats.Mean, none.Stats.Mean)
+	}
+}
+
+func TestPartitionMasks(t *testing.T) {
+	cfg := fastCfg(BlOpt, 1)
+	masks := partition(cfg, 16)
+	if masks[0].Count() != 2 {
+		t.Fatalf("gateway cores = %d, want 2", masks[0].Count())
+	}
+	total := 0
+	for _, m := range masks[1:] {
+		total += m.Count()
+	}
+	if total != 14 {
+		t.Fatalf("server cores = %d, want 14", total)
+	}
+	// bl-none has empty (unrestricted) masks.
+	masks = partition(fastCfg(BlNone, 1), 16)
+	for i, m := range masks {
+		if !m.IsEmpty() {
+			t.Fatalf("bl-none mask %d = %v, want unrestricted", i, m)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package usched is a deterministic simulation framework reproducing the
+// PPoPP'26 paper "Rethinking Thread Scheduling under Oversubscription: A
+// User-Space Framework for Coordinating Multi-runtime and Multi-process
+// Workloads" (Roca & Beltran).
+//
+// It provides, fully in Go with no external dependencies:
+//
+//   - a simulated Linux kernel (EEVDF-style fair scheduler, SCHED_RR,
+//     futexes, affinity, NUMA/cache/bandwidth cost models);
+//   - a glibc-like pthread layer with two backends — standard futex
+//     synchronisation and "glibcv", which routes every pthread and
+//     blocking call through the nOS-V tasking library;
+//   - USF, the user-space scheduling framework: a pluggable policy
+//     interface over nOS-V, with the paper's SCHED_COOP cooperative
+//     policy plus example alternatives;
+//   - the runtime substrates the paper composes (OpenMP gomp/libomp,
+//     OmpSs-2, oneTBB, pthreadpool, OpenBLAS/BLIS, MPICH-like MPI);
+//   - the four evaluation workloads (nested matmul, Cholesky runtime
+//     compositions, AI microservices, LAMMPS+DeePMD ensembles) and
+//     drivers that regenerate every table and figure of the paper's
+//     evaluation section.
+//
+// # Quick start
+//
+//	sys := usched.NewSystem(usched.SmallNode(), 1)
+//	sys.Start("app", usched.SchedCoop, usched.ProcessOptions{}, func(l *usched.CLib) {
+//	    pt := l.PthreadCreate("worker", func() { l.Compute(time.Millisecond) })
+//	    l.PthreadJoin(pt)
+//	})
+//	sys.Run(0)
+//
+// See the examples/ directory for runnable programs and cmd/uschedsim for
+// the experiment CLI.
+package usched
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/glibc"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/nosv"
+	"repro/internal/sim"
+	"repro/internal/stack"
+	"repro/internal/usf"
+	"repro/internal/workloads/cholesky"
+	"repro/internal/workloads/inference"
+	"repro/internal/workloads/matmul"
+	"repro/internal/workloads/md"
+)
+
+// Core simulation types.
+type (
+	// System is a wired simulated machine (engine + kernel + USF).
+	System = stack.System
+	// Mode selects one of the paper's software stacks (Fig. 2).
+	Mode = stack.Mode
+	// MachineSpec describes the simulated hardware.
+	MachineSpec = hw.Config
+	// CLib is a process's C library handle (the pthread API surface).
+	CLib = glibc.Lib
+	// ProcessOptions configures a simulated process.
+	ProcessOptions = glibc.Options
+	// Pthread is a pthread_t handle.
+	Pthread = glibc.Pthread
+	// CPUMask is a cpu_set_t-style affinity mask.
+	CPUMask = kernel.Mask
+	// Duration / VTime are virtual time types (nanoseconds).
+	Duration = sim.Duration
+	// VTime is an absolute point in virtual time.
+	VTime = sim.Time
+)
+
+// Stack modes (Fig. 2).
+const (
+	// Original: stock glibc, unpatched busy-wait barriers.
+	Original = stack.ModeOriginal
+	// Baseline: stock glibc + sched_yield barrier patch.
+	Baseline = stack.ModeBaseline
+	// Manual: hand-integrated nOS-V (blocking barriers).
+	Manual = stack.ModeManual
+	// SchedCoop: transparent glibcv + SCHED_COOP.
+	SchedCoop = stack.ModeCoop
+)
+
+// USF policy framework types, for writing custom scheduling policies
+// (see examples/custom-policy).
+type (
+	// Policy is the USF scheduling-policy interface.
+	Policy = nosv.Policy
+	// Task is a nOS-V task bound to a worker thread.
+	Task = nosv.Task
+	// Instance is a nOS-V shared-memory segment instance.
+	Instance = nosv.Instance
+	// CoopConfig tunes SCHED_COOP.
+	CoopConfig = usf.CoopConfig
+	// SchedCoopPolicy is the paper's cooperative policy.
+	SchedCoopPolicy = usf.SchedCoop
+)
+
+// NewSchedCoop builds a SCHED_COOP policy instance.
+func NewSchedCoop(cfg CoopConfig) *SchedCoopPolicy { return usf.NewSchedCoop(cfg) }
+
+// DefaultCoopConfig returns the paper's SCHED_COOP defaults (20 ms
+// process quantum, core→NUMA→any placement).
+func DefaultCoopConfig() CoopConfig { return usf.DefaultCoopConfig() }
+
+// Machine presets.
+
+// MareNostrum5 is the paper's Table 1 machine: 2x56-core Sapphire Rapids.
+func MareNostrum5() MachineSpec { return hw.MareNostrum5() }
+
+// SmallNode is an 8-core single-socket machine for demos and tests.
+func SmallNode() MachineSpec { return hw.SmallNode() }
+
+// DualSocket16 is a 2x8-core machine exercising NUMA placement.
+func DualSocket16() MachineSpec { return hw.DualSocket16() }
+
+// NewSystem wires a simulated machine with the default kernel scheduler
+// parameters (a CFS-era Linux, matching the paper's testbed).
+func NewSystem(machine MachineSpec, seed uint64) *System { return stack.New(machine, seed) }
+
+// Workload configurations and single-run entry points.
+type (
+	// MatmulConfig parameterises the §5.3 nested-runtime matmul.
+	MatmulConfig = matmul.Config
+	// MatmulResult is its outcome.
+	MatmulResult = matmul.Result
+	// CholeskyConfig parameterises the §5.4 composition study.
+	CholeskyConfig = cholesky.Config
+	// CholeskyResult is its outcome.
+	CholeskyResult = cholesky.Result
+	// MicroservicesConfig parameterises the §5.5 AI service benchmark.
+	MicroservicesConfig = inference.Config
+	// MicroservicesResult is its outcome.
+	MicroservicesResult = inference.Result
+	// MDConfig parameterises the §5.6 LAMMPS+DeePMD study.
+	MDConfig = md.Config
+	// MDResult is its outcome.
+	MDResult = md.Result
+)
+
+// RunMatmul executes one nested-runtime matmul configuration.
+func RunMatmul(cfg MatmulConfig) MatmulResult { return matmul.Run(cfg) }
+
+// RunCholesky executes one runtime-composition configuration.
+func RunCholesky(cfg CholeskyConfig) CholeskyResult { return cholesky.Run(cfg) }
+
+// RunMicroservices executes one microservices configuration.
+func RunMicroservices(cfg MicroservicesConfig) MicroservicesResult { return inference.Run(cfg) }
+
+// RunMD executes one molecular-dynamics scenario.
+func RunMD(cfg MDConfig) MDResult { return md.Run(cfg) }
+
+// Experiment drivers: full table/figure reproductions.
+type (
+	// Figure3Config sweeps the matmul heatmaps.
+	Figure3Config = experiments.Figure3Config
+	// Figure3Result holds the four heatmaps.
+	Figure3Result = experiments.Figure3Result
+	// Table2Config sweeps the Cholesky compositions.
+	Table2Config = experiments.Table2Config
+	// Table2Result holds Table 2.
+	Table2Result = experiments.Table2Result
+	// Figure4Config sweeps the microservices schemes and rates.
+	Figure4Config = experiments.Figure4Config
+	// Figure4Result holds Fig. 4.
+	Figure4Result = experiments.Figure4Result
+	// Figure5Config sweeps the MD scenarios.
+	Figure5Config = experiments.Figure5Config
+	// Figure5Result holds Fig. 5.
+	Figure5Result = experiments.Figure5Result
+)
+
+// RunFigure3 regenerates the Fig. 3 heatmaps.
+func RunFigure3(cfg Figure3Config) *Figure3Result { return experiments.RunFigure3(cfg) }
+
+// RunTable2 regenerates Table 2.
+func RunTable2(cfg Table2Config) *Table2Result { return experiments.RunTable2(cfg) }
+
+// RunFigure4 regenerates Fig. 4.
+func RunFigure4(cfg Figure4Config) *Figure4Result { return experiments.RunFigure4(cfg) }
+
+// RunFigure5 regenerates Fig. 5.
+func RunFigure5(cfg Figure5Config) *Figure5Result { return experiments.RunFigure5(cfg) }
+
+// Default and quick experiment configurations.
+
+// DefaultFigure3 returns the scaled full sweep (112-core machine).
+func DefaultFigure3() Figure3Config { return experiments.DefaultFigure3() }
+
+// QuickFigure3 returns a small fast sweep.
+func QuickFigure3() Figure3Config { return experiments.QuickFigure3() }
+
+// DefaultTable2 returns the scaled full composition study.
+func DefaultTable2() Table2Config { return experiments.DefaultTable2() }
+
+// QuickTable2 returns a small fast composition study.
+func QuickTable2() Table2Config { return experiments.QuickTable2() }
+
+// DefaultFigure4 returns the paper-shaped microservices sweep.
+func DefaultFigure4() Figure4Config { return experiments.DefaultFigure4() }
+
+// QuickFigure4 returns a small fast microservices sweep.
+func QuickFigure4() Figure4Config { return experiments.QuickFigure4() }
+
+// DefaultFigure5 returns the paper-shaped MD study.
+func DefaultFigure5() Figure5Config { return experiments.DefaultFigure5() }
+
+// QuickFigure5 returns a small fast MD study.
+func QuickFigure5() Figure5Config { return experiments.QuickFigure5() }

@@ -1,0 +1,82 @@
+package usched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := NewSystem(SmallNode(), 42)
+	var makespan VTime
+	_, err := sys.Start("app", SchedCoop, ProcessOptions{}, func(l *CLib) {
+		m := l.NewMutex()
+		var pts []*Pthread
+		for i := 0; i < 8; i++ {
+			pts = append(pts, l.PthreadCreate("w", func() {
+				m.Lock()
+				l.Compute(100 * sim.Microsecond)
+				m.Unlock()
+			}))
+		}
+		for _, pt := range pts {
+			l.PthreadJoin(pt)
+		}
+		makespan = l.K.Eng.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if makespan <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestPublicAPIModes(t *testing.T) {
+	modes := []Mode{Original, Baseline, Manual, SchedCoop}
+	want := []string{"original", "baseline", "manual", "sched_coop"}
+	for i, m := range modes {
+		if m.String() != want[i] {
+			t.Fatalf("mode %d = %q, want %q", i, m, want[i])
+		}
+	}
+	if !Manual.UsesUSF() || Baseline.UsesUSF() {
+		t.Fatal("UsesUSF mapping wrong")
+	}
+}
+
+func TestPublicAPIWorkloadRun(t *testing.T) {
+	res := RunMatmul(MatmulConfig{
+		Machine:    DualSocket16(),
+		Mode:       SchedCoop,
+		N:          1024,
+		TaskSize:   512,
+		OMPThreads: 2,
+		Reps:       1,
+		Horizon:    2 * sim.Second,
+		Seed:       1,
+	})
+	if res.TimedOut || res.GFLOPS <= 0 {
+		t.Fatalf("matmul via facade failed: %+v", res)
+	}
+}
+
+func TestPublicAPICustomPolicy(t *testing.T) {
+	pol := NewSchedCoop(DefaultCoopConfig())
+	if pol.Name() != "sched_coop" {
+		t.Fatalf("policy name = %q", pol.Name())
+	}
+	var _ Policy = pol // compile-time: SchedCoop satisfies the interface
+}
+
+func TestMachinePresets(t *testing.T) {
+	if MareNostrum5().Topo.Cores() != 112 {
+		t.Fatal("MareNostrum5 must have 112 cores")
+	}
+	if SmallNode().Topo.Cores() != 8 || DualSocket16().Topo.Cores() != 16 {
+		t.Fatal("small presets wrong")
+	}
+}
