@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper's
 // evaluation section (one benchmark family per artefact), plus ablations
-// of the design choices called out in DESIGN.md. Each benchmark iteration
+// of the simulator's main design choices. Each benchmark iteration
 // runs a complete deterministic simulation; custom metrics report the
 // simulated performance the paper plots (GFLOP/s, speedups, latency,
 // Katom-step/s) alongside the usual host-side ns/op.
@@ -13,7 +13,9 @@ import (
 	"testing"
 
 	"repro/internal/blas"
+	"repro/internal/experiments"
 	"repro/internal/glibc"
+	"repro/internal/harness"
 	"repro/internal/hw"
 	"repro/internal/nosv"
 	"repro/internal/rt/omp"
@@ -205,6 +207,30 @@ func BenchmarkFigure5MDCoexecutionNode(b *testing.B)   { benchMD(b, md.Coexecuti
 func BenchmarkFigure5MDCoexecutionSocket(b *testing.B) { benchMD(b, md.CoexecutionSocket) }
 func BenchmarkFigure5MDSchedCoopNode(b *testing.B)     { benchMD(b, md.SchedCoopNode) }
 func BenchmarkFigure5MDSchedCoopSocket(b *testing.B)   { benchMD(b, md.SchedCoopSocket) }
+
+// --- Harness: parallel sweep scaling -----------------------------------
+
+// One iteration runs the full quick Table 2 job list (20 independent
+// cells) through the bounded pool; comparing Par1 with ParN shows how
+// the sweep scales with host cores.
+func benchHarnessTable2(b *testing.B, par int) {
+	cfg := experiments.QuickTable2()
+	var results []harness.Result
+	for i := 0; i < b.N; i++ {
+		results = harness.Run(experiments.Table2Jobs(cfg), par)
+	}
+	rep := 0.0
+	for _, r := range results {
+		rep += r.Metric.SimSeconds
+	}
+	b.ReportMetric(rep, "sim-seconds-total")
+}
+
+func BenchmarkHarnessTable2Par1(b *testing.B) { benchHarnessTable2(b, 1) }
+func BenchmarkHarnessTable2Par4(b *testing.B) { benchHarnessTable2(b, 4) }
+func BenchmarkHarnessTable2ParMax(b *testing.B) {
+	benchHarnessTable2(b, 0) // GOMAXPROCS
+}
 
 // --- Ablations ---------------------------------------------------------
 

@@ -10,114 +10,167 @@
 //	uschedsim lammps [-quick]         # Figure 5 (+ bandwidth trace)
 //	uschedsim all -quick              # everything, small instances
 //
-// Full-size sweeps (-quick omitted) run the scaled paper configurations
-// and can take many minutes of host time.
+// Flags may appear before or after the subcommand:
+//
+//	-quick      run small, fast instances instead of the scaled sweep
+//	-par N      run N sim cells concurrently (default GOMAXPROCS)
+//	-json       print the per-cell metrics report as JSON instead of tables
+//	-out FILE   also write the metrics report to FILE (.csv selects CSV)
+//
+// Experiments are resolved against the internal/harness scenario
+// registry; their independent cells fan out over a bounded worker pool
+// and are reassembled in declaration order, so table output is
+// byte-identical for any -par value (timing goes to stderr). Full-size
+// sweeps (-quick omitted) run the scaled paper configurations and can
+// take many minutes of host time.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"time"
+	"path/filepath"
+	"strings"
 
-	"repro/internal/experiments"
+	_ "repro/internal/experiments" // register the experiment scenarios
+	"repro/internal/harness"
 	"repro/internal/hw"
-	"repro/internal/workloads/md"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	quick := fs.Bool("quick", false, "run small, fast instances instead of the scaled paper sweep")
-	_ = fs.Parse(os.Args[2:])
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uschedsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run small, fast instances instead of the scaled paper sweep")
+	par := fs.Int("par", 0, "sim cells to run concurrently (0 means GOMAXPROCS)")
+	asJSON := fs.Bool("json", false, "print the metrics report as JSON instead of tables")
+	outPath := fs.String("out", "", "write the metrics report to `file` (.csv selects CSV, otherwise JSON)")
+	fs.Usage = func() { usage(fs) }
+	parse := func(args []string) (int, bool) {
+		switch err := fs.Parse(args); {
+		case err == nil:
+			return 0, true
+		case errors.Is(err, flag.ErrHelp):
+			return 0, false
+		default:
+			return 2, false
+		}
+	}
+	if code, ok := parse(args); !ok {
+		return code
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(stderr, "uschedsim: missing subcommand")
+		fs.Usage()
+		return 2
+	}
+	cmd := rest[0]
+	// Flags may follow the subcommand too: `uschedsim all -quick` and
+	// `uschedsim -quick all` are equivalent.
+	if code, ok := parse(rest[1:]); !ok {
+		return code
+	}
+	if extra := fs.Args(); len(extra) > 0 {
+		fmt.Fprintf(stderr, "uschedsim: unexpected arguments %q\n", extra)
+		fs.Usage()
+		return 2
+	}
+
+	var scenarios []*harness.Scenario
 	switch cmd {
 	case "machine":
-		machineCmd()
-	case "matmul":
-		matmulCmd(*quick)
-	case "cholesky":
-		choleskyCmd(*quick)
-	case "microservices":
-		microservicesCmd(*quick)
-	case "lammps":
-		lammpsCmd(*quick)
+		if *asJSON || *outPath != "" {
+			fmt.Fprintln(stderr, "uschedsim: machine does not support -json or -out")
+			return 2
+		}
+		machineCmd(stdout)
+		return 0
 	case "all":
-		matmulCmd(*quick)
-		choleskyCmd(*quick)
-		microservicesCmd(*quick)
-		lammpsCmd(*quick)
+		scenarios = harness.Scenarios()
 	default:
-		usage()
-		os.Exit(2)
+		s, ok := harness.Lookup(cmd)
+		if !ok {
+			fmt.Fprintf(stderr, "uschedsim: unknown subcommand %q\n", cmd)
+			fs.Usage()
+			return 2
+		}
+		scenarios = []*harness.Scenario{s}
 	}
+
+	// Open a temp file next to the report target before the sweep: a bad
+	// path must fail fast, not after minutes of simulation, and a crash
+	// or interrupt mid-sweep must not clobber a previous report. The
+	// rename below publishes it only on success.
+	var outFile *os.File
+	if *outPath != "" {
+		f, err := os.CreateTemp(filepath.Dir(*outPath), ".uschedsim-out-*")
+		if err != nil {
+			fmt.Fprintln(stderr, "uschedsim:", err)
+			return 2
+		}
+		defer os.Remove(f.Name()) // no-op once renamed into place
+		defer f.Close()
+		outFile = f
+	}
+
+	sweep := harness.RunScenarios(scenarios, *quick, *par)
+	report := sweep.Report()
+	if *asJSON {
+		b, err := report.JSON()
+		if err != nil {
+			fmt.Fprintln(stderr, "uschedsim:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s\n", b)
+	} else if err := sweep.RenderTables(stdout); err != nil {
+		fmt.Fprintln(stderr, "uschedsim:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "(%d cells, %d workers, sim time %.1fs, host time %.2fs, wall %.2fs)\n",
+		sweep.Cells(), sweep.Par, report.TotalSimSeconds, report.TotalHostSeconds, report.WallSeconds)
+	if outFile != nil {
+		if err := report.Write(outFile, harness.CSVPath(*outPath)); err != nil {
+			fmt.Fprintln(stderr, "uschedsim:", err)
+			return 1
+		}
+		// CreateTemp made the file 0600; publish it world-readable like
+		// a plain create would.
+		if err := outFile.Chmod(0o644); err != nil {
+			fmt.Fprintln(stderr, "uschedsim:", err)
+			return 1
+		}
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintln(stderr, "uschedsim:", err)
+			return 1
+		}
+		if err := os.Rename(outFile.Name(), *outPath); err != nil {
+			fmt.Fprintln(stderr, "uschedsim:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: uschedsim {machine|matmul|cholesky|microservices|lammps|all} [-quick]")
+func usage(fs *flag.FlagSet) {
+	fmt.Fprintf(fs.Output(), "usage: uschedsim [flags] {machine|%s|all} [flags]\n",
+		strings.Join(harness.Names(), "|"))
+	fs.PrintDefaults()
 }
 
-func timed(name string, fn func()) {
-	start := time.Now()
-	fmt.Printf("==== %s ====\n", name)
-	fn()
-	fmt.Printf("(host time: %v)\n\n", time.Since(start).Round(time.Millisecond))
-}
-
-func machineCmd() {
+func machineCmd(w io.Writer) {
 	cfg := hw.MareNostrum5()
-	fmt.Printf("Machine: %s (paper Table 1)\n", cfg.Name)
-	fmt.Printf("  Sockets:          %d\n", cfg.Topo.Sockets)
-	fmt.Printf("  Cores/socket:     %d (total %d)\n", cfg.Topo.CoresPerSocket, cfg.Topo.Cores())
-	fmt.Printf("  NUMA nodes:       %d\n", cfg.Topo.NUMANodes())
-	fmt.Printf("  Socket bandwidth: %.0f GB/s\n", cfg.Mem.SocketBandwidth)
-	fmt.Printf("  Core dgemm rate:  %.0f GFLOP/s\n", cfg.CoreGFLOPS)
-	fmt.Printf("  Context switch:   %v\n", cfg.Costs.ContextSwitch)
-	fmt.Printf("  Migration (socket): %v\n", cfg.Costs.MigrationCrossSocket)
-}
-
-func matmulCmd(quick bool) {
-	cfg := experiments.DefaultFigure3()
-	if quick {
-		cfg = experiments.QuickFigure3()
-	}
-	timed("Figure 3: nested-runtime matmul heatmaps", func() {
-		fmt.Print(experiments.RunFigure3(cfg).Render())
-	})
-}
-
-func choleskyCmd(quick bool) {
-	cfg := experiments.DefaultTable2()
-	if quick {
-		cfg = experiments.QuickTable2()
-	}
-	timed("Table 2: Cholesky runtime compositions", func() {
-		fmt.Print(experiments.RunTable2(cfg).Render())
-	})
-}
-
-func microservicesCmd(quick bool) {
-	cfg := experiments.DefaultFigure4()
-	if quick {
-		cfg = experiments.QuickFigure4()
-	}
-	timed("Figure 4: AI microservices", func() {
-		fmt.Print(experiments.RunFigure4(cfg).Render())
-	})
-}
-
-func lammpsCmd(quick bool) {
-	cfg := experiments.DefaultFigure5()
-	if quick {
-		cfg = experiments.QuickFigure5()
-	}
-	timed("Figure 5: LAMMPS + DeePMD-kit ensembles", func() {
-		res := experiments.RunFigure5(cfg)
-		fmt.Print(res.Render())
-		fmt.Print(res.RenderBWTrace(md.SchedCoopNode, 30))
-	})
+	fmt.Fprintf(w, "Machine: %s (paper Table 1)\n", cfg.Name)
+	fmt.Fprintf(w, "  Sockets:          %d\n", cfg.Topo.Sockets)
+	fmt.Fprintf(w, "  Cores/socket:     %d (total %d)\n", cfg.Topo.CoresPerSocket, cfg.Topo.Cores())
+	fmt.Fprintf(w, "  NUMA nodes:       %d\n", cfg.Topo.NUMANodes())
+	fmt.Fprintf(w, "  Socket bandwidth: %.0f GB/s\n", cfg.Mem.SocketBandwidth)
+	fmt.Fprintf(w, "  Core dgemm rate:  %.0f GFLOP/s\n", cfg.CoreGFLOPS)
+	fmt.Fprintf(w, "  Context switch:   %v\n", cfg.Costs.ContextSwitch)
+	fmt.Fprintf(w, "  Migration (socket): %v\n", cfg.Costs.MigrationCrossSocket)
 }

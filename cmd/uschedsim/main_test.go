@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestMachineSmoke(t *testing.T) {
+	code, out, _ := runCLI(t, "machine")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"Machine:", "Sockets:", "Core dgemm rate:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("machine output missing %q:\n%s", want, out)
+		}
+	}
+	// machine has no cells, so asking for a metrics report is an error,
+	// not silently ignored.
+	code, _, errOut := runCLI(t, "machine", "-json")
+	if code != 2 || !strings.Contains(errOut, "machine does not support") {
+		t.Fatalf("machine -json: exit %d, stderr:\n%s", code, errOut)
+	}
+}
+
+func TestQuickSweepFlagsEitherPosition(t *testing.T) {
+	// `-quick` before the subcommand (the form that used to exit 2).
+	code, before, errOut := runCLI(t, "-quick", "-par", "2", "cholesky")
+	if code != 0 {
+		t.Fatalf("flags-first exit %d: %s", code, errOut)
+	}
+	// Same flags after the subcommand, different pool width.
+	code, after, _ := runCLI(t, "cholesky", "-quick", "-par", "4")
+	if code != 0 {
+		t.Fatalf("flags-last exit %d", code)
+	}
+	if before != after {
+		t.Fatalf("tables differ between -par 2 and -par 4:\n%s\n---\n%s", before, after)
+	}
+	for _, want := range []string{"Table 2: Cholesky runtime compositions", "tbb", "blis"} {
+		if !strings.Contains(before, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, before)
+		}
+	}
+}
+
+func TestUnknownSubcommandNamed(t *testing.T) {
+	code, _, errOut := runCLI(t, "bogus", "-quick")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown subcommand "bogus"`) {
+		t.Fatalf("usage error does not name the subcommand:\n%s", errOut)
+	}
+	if code, _, errOut = runCLI(t); code != 2 || !strings.Contains(errOut, "missing subcommand") {
+		t.Fatalf("no-arg run: exit %d, stderr:\n%s", code, errOut)
+	}
+}
+
+func TestJSONReportRoundTripAndOutFile(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "cells.CSV") // extension match is case-insensitive
+	code, out, errOut := runCLI(t, "-quick", "-json", "-par", "64", "-out", csvPath, "lammps")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var rep harness.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output does not round-trip: %v\n%s", err, out)
+	}
+	if len(rep.Cells) != 7 { // seven Fig. 5 scenarios
+		t.Fatalf("cells = %d, want 7", len(rep.Cells))
+	}
+	if rep.Workers != 7 { // -par 64 must be clamped to the cell count
+		t.Fatalf("workers = %d, want 7", rep.Workers)
+	}
+	// A bad -out path must fail before the sweep runs.
+	if code, _, errOut = runCLI(t, "-quick", "-out", "/nonexistent-dir/x.csv", "lammps"); code != 2 {
+		t.Fatalf("bad -out path: exit %d, stderr:\n%s", code, errOut)
+	}
+	for _, c := range rep.Cells {
+		if c.Scenario != "lammps" || c.SimSeconds <= 0 || c.HostSeconds <= 0 {
+			t.Fatalf("bad cell metric: %+v", c)
+		}
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 8 || !strings.HasPrefix(lines[0], "scenario,cell,") {
+		t.Fatalf("-out csv:\n%s", data)
+	}
+}

@@ -1,13 +1,17 @@
-// Package experiments drives the paper's tables and figures: each Run*
-// function sweeps the corresponding parameter space and returns typed
-// results that cmd/uschedsim renders in the paper's shape and
-// bench_test.go regenerates.
+// Package experiments drives the paper's tables and figures. Each
+// artefact exposes three layers: a *Jobs function expanding its config
+// into independent harness cells (one fresh sim.Engine per cell), an
+// Assemble* function rebuilding the typed result from ordered cell
+// outputs, and a serial Run* convenience wrapper. cmd/uschedsim runs
+// the same jobs through the parallel harness via the scenario registry
+// (see scenarios.go); bench_test.go regenerates the artefacts directly.
 package experiments
 
 import (
 	"fmt"
 	"strings"
 
+	"repro/internal/harness"
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/stack"
@@ -72,31 +76,65 @@ type Figure3Result struct {
 	Cells  map[stack.Mode][][]Figure3Cell
 }
 
-// RunFigure3 executes the sweep.
-func RunFigure3(cfg Figure3Config) *Figure3Result {
+// Figure3Jobs expands the sweep into one job per heatmap cell, in the
+// mode-major order AssembleFigure3 expects.
+func Figure3Jobs(cfg Figure3Config) []harness.Job {
+	var jobs []harness.Job
+	for _, mode := range cfg.Modes {
+		for _, ts := range cfg.TaskSizes {
+			for _, th := range cfg.OMPThreads {
+				mode, ts, th := mode, ts, th
+				jobs = append(jobs, harness.Job{
+					Name: fmt.Sprintf("%s/tasks%d/omp%d", mode, ts, th),
+					Run: func() harness.Output {
+						res := matmul.Run(matmul.Config{
+							Machine:    cfg.Machine,
+							Mode:       mode,
+							N:          cfg.N,
+							TaskSize:   ts,
+							OMPThreads: th,
+							Reps:       cfg.Reps,
+							Horizon:    cfg.Horizon,
+							Seed:       cfg.Seed,
+						})
+						return harness.Output{
+							Value:    Figure3Cell{TaskSize: ts, OMPThreads: th, Result: res},
+							SimTime:  res.Elapsed,
+							TimedOut: res.TimedOut,
+						}
+					},
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// AssembleFigure3 rebuilds the heatmap grids from cell results ordered
+// as Figure3Jobs declared them.
+func AssembleFigure3(cfg Figure3Config, results []harness.Result) *Figure3Result {
 	out := &Figure3Result{Config: cfg, Cells: make(map[stack.Mode][][]Figure3Cell)}
+	i := 0
 	for _, mode := range cfg.Modes {
 		grid := make([][]Figure3Cell, len(cfg.TaskSizes))
-		for ri, ts := range cfg.TaskSizes {
+		for ri := range cfg.TaskSizes {
 			row := make([]Figure3Cell, len(cfg.OMPThreads))
-			for ci, th := range cfg.OMPThreads {
-				res := matmul.Run(matmul.Config{
-					Machine:    cfg.Machine,
-					Mode:       mode,
-					N:          cfg.N,
-					TaskSize:   ts,
-					OMPThreads: th,
-					Reps:       cfg.Reps,
-					Horizon:    cfg.Horizon,
-					Seed:       cfg.Seed,
-				})
-				row[ci] = Figure3Cell{TaskSize: ts, OMPThreads: th, Result: res}
+			for ci := range cfg.OMPThreads {
+				row[ci] = results[i].Value.(Figure3Cell)
+				i++
 			}
 			grid[ri] = row
 		}
 		out.Cells[mode] = grid
 	}
 	return out
+}
+
+// RunFigure3 executes the sweep serially (tests and benches run it
+// directly; cmd/uschedsim runs the same jobs through the parallel
+// harness).
+func RunFigure3(cfg Figure3Config) *Figure3Result {
+	return AssembleFigure3(cfg, harness.Run(Figure3Jobs(cfg), 1))
 }
 
 // Speedup returns cell-wise mode/baseline GFLOPS ratio (0 where either

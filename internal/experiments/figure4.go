@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/harness"
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/workloads/inference"
@@ -90,29 +91,56 @@ type Figure4Result struct {
 	Timelines map[inference.Scheme][]inference.RequestTrace
 }
 
-// RunFigure4 executes the sweep.
-func RunFigure4(cfg Figure4Config) *Figure4Result {
-	out := &Figure4Result{Config: cfg, Timelines: make(map[inference.Scheme][]inference.RequestTrace)}
+// Figure4Jobs expands the sweep into one job per (scheme, rate) point,
+// scheme-major as AssembleFigure4 expects.
+func Figure4Jobs(cfg Figure4Config) []harness.Job {
+	var jobs []harness.Job
 	for _, scheme := range cfg.Schemes {
 		for _, rate := range cfg.Rates {
-			res := inference.Run(inference.Config{
-				Machine:  cfg.Machine,
-				Scheme:   scheme,
-				Rate:     rate,
-				Requests: cfg.Requests,
-				Batches:  cfg.Batches,
-				Scale:    cfg.Scale,
-				Models:   cfg.Models,
-				Horizon:  cfg.Horizon,
-				Seed:     cfg.Seed,
+			scheme, rate := scheme, rate
+			jobs = append(jobs, harness.Job{
+				Name: fmt.Sprintf("%s/rate%.2f", scheme, rate),
+				Run: func() harness.Output {
+					res := inference.Run(inference.Config{
+						Machine:  cfg.Machine,
+						Scheme:   scheme,
+						Rate:     rate,
+						Requests: cfg.Requests,
+						Batches:  cfg.Batches,
+						Scale:    cfg.Scale,
+						Models:   cfg.Models,
+						Horizon:  cfg.Horizon,
+						Seed:     cfg.Seed,
+					})
+					return harness.Output{
+						Value:    Figure4Point{Scheme: scheme, Rate: rate, Result: res},
+						SimTime:  res.Elapsed,
+						TimedOut: res.TimedOut,
+					}
+				},
 			})
-			out.Points = append(out.Points, Figure4Point{Scheme: scheme, Rate: rate, Result: res})
-			if rate == cfg.TimelineRate {
-				out.Timelines[scheme] = res.Timeline
-			}
+		}
+	}
+	return jobs
+}
+
+// AssembleFigure4 rebuilds the point list and TimelineRate traces from
+// ordered cell results.
+func AssembleFigure4(cfg Figure4Config, results []harness.Result) *Figure4Result {
+	out := &Figure4Result{Config: cfg, Timelines: make(map[inference.Scheme][]inference.RequestTrace)}
+	for _, r := range results {
+		p := r.Value.(Figure4Point)
+		out.Points = append(out.Points, p)
+		if p.Rate == cfg.TimelineRate {
+			out.Timelines[p.Scheme] = p.Timeline
 		}
 	}
 	return out
+}
+
+// RunFigure4 executes the sweep serially.
+func RunFigure4(cfg Figure4Config) *Figure4Result {
+	return AssembleFigure4(cfg, harness.Run(Figure4Jobs(cfg), 1))
 }
 
 // Point returns the measurement for (scheme, rate), or nil.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/harness"
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/workloads/md"
@@ -69,18 +70,44 @@ type Figure5Result struct {
 	Entries []Figure5Entry
 }
 
-// RunFigure5 executes all scenarios.
-func RunFigure5(cfg Figure5Config) *Figure5Result {
-	out := &Figure5Result{Config: cfg}
+// Figure5Jobs expands the study into one job per MD scenario, in the
+// order AssembleFigure5 expects.
+func Figure5Jobs(cfg Figure5Config) []harness.Job {
+	var jobs []harness.Job
 	for _, s := range cfg.Scenarios {
+		s := s
 		c := cfg.Base
 		c.Scenario = s
 		if s.Colocated() {
 			c.RanksPerEnsemble = cfg.Base.RanksPerEnsemble / 2
 		}
-		out.Entries = append(out.Entries, Figure5Entry{Scenario: s, Result: md.Run(c)})
+		jobs = append(jobs, harness.Job{
+			Name: s.String(),
+			Run: func() harness.Output {
+				res := md.Run(c)
+				return harness.Output{
+					Value:    Figure5Entry{Scenario: s, Result: res},
+					SimTime:  res.Elapsed,
+					TimedOut: res.TimedOut,
+				}
+			},
+		})
+	}
+	return jobs
+}
+
+// AssembleFigure5 collects ordered scenario results.
+func AssembleFigure5(cfg Figure5Config, results []harness.Result) *Figure5Result {
+	out := &Figure5Result{Config: cfg}
+	for _, r := range results {
+		out.Entries = append(out.Entries, r.Value.(Figure5Entry))
 	}
 	return out
+}
+
+// RunFigure5 executes all scenarios serially.
+func RunFigure5(cfg Figure5Config) *Figure5Result {
+	return AssembleFigure5(cfg, harness.Run(Figure5Jobs(cfg), 1))
 }
 
 // Entry returns the result for a scenario, or nil.

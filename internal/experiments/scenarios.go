@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"repro/internal/harness"
+	"repro/internal/workloads/md"
+)
+
+// Scenario registry wiring: each paper artefact registers its cell
+// expansion and renderer with the harness, so cmd/uschedsim resolves
+// subcommands against the registry and `all` sweeps every cell through
+// one worker pool.
+
+func figure3Config(quick bool) Figure3Config {
+	if quick {
+		return QuickFigure3()
+	}
+	return DefaultFigure3()
+}
+
+func table2Config(quick bool) Table2Config {
+	if quick {
+		return QuickTable2()
+	}
+	return DefaultTable2()
+}
+
+func figure4Config(quick bool) Figure4Config {
+	if quick {
+		return QuickFigure4()
+	}
+	return DefaultFigure4()
+}
+
+func figure5Config(quick bool) Figure5Config {
+	if quick {
+		return QuickFigure5()
+	}
+	return DefaultFigure5()
+}
+
+func init() {
+	harness.Register(&harness.Scenario{
+		Name:  "matmul",
+		Title: "Figure 3: nested-runtime matmul heatmaps",
+		Jobs: func(quick bool) []harness.Job {
+			return Figure3Jobs(figure3Config(quick))
+		},
+		Render: func(quick bool, results []harness.Result) string {
+			return AssembleFigure3(figure3Config(quick), results).Render()
+		},
+	})
+	harness.Register(&harness.Scenario{
+		Name:  "cholesky",
+		Title: "Table 2: Cholesky runtime compositions",
+		Jobs: func(quick bool) []harness.Job {
+			return Table2Jobs(table2Config(quick))
+		},
+		Render: func(quick bool, results []harness.Result) string {
+			return AssembleTable2(table2Config(quick), results).Render()
+		},
+	})
+	harness.Register(&harness.Scenario{
+		Name:  "microservices",
+		Title: "Figure 4: AI microservices",
+		Jobs: func(quick bool) []harness.Job {
+			return Figure4Jobs(figure4Config(quick))
+		},
+		Render: func(quick bool, results []harness.Result) string {
+			return AssembleFigure4(figure4Config(quick), results).Render()
+		},
+	})
+	harness.Register(&harness.Scenario{
+		Name:  "lammps",
+		Title: "Figure 5: LAMMPS + DeePMD-kit ensembles",
+		Jobs: func(quick bool) []harness.Job {
+			return Figure5Jobs(figure5Config(quick))
+		},
+		Render: func(quick bool, results []harness.Result) string {
+			res := AssembleFigure5(figure5Config(quick), results)
+			return res.Render() + res.RenderBWTrace(md.SchedCoopNode, 30)
+		},
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/blas"
+	"repro/internal/harness"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -102,35 +103,72 @@ type Table2Result struct {
 	Entries []Table2Entry
 }
 
-// RunTable2 executes the composition study.
-func RunTable2(cfg Table2Config) *Table2Result {
-	out := &Table2Result{Config: cfg}
+// implName abbreviates a BLAS implementation the way Table 2 does.
+func implName(impl blas.Impl) string {
+	if impl == blas.BLIS {
+		return "blis"
+	}
+	return "opb"
+}
+
+// Table2Jobs expands the study into one job per (combo, degree, mode)
+// simulation, in the order AssembleTable2 expects: combo-major, then
+// degree, then baseline before SCHED_COOP.
+func Table2Jobs(cfg Table2Config) []harness.Job {
+	var jobs []harness.Job
 	for _, combo := range cfg.Combos {
 		for _, deg := range cfg.Degrees {
-			mk := func(mode stack.Mode) cholesky.Result {
-				return cholesky.Run(cholesky.Config{
-					Machine:      cfg.Machine,
-					Mode:         mode,
-					N:            cfg.N,
-					TileSize:     cfg.Tile,
-					Outer:        combo.Outer,
-					Inner:        combo.Inner,
-					Impl:         combo.Impl,
-					OuterThreads: deg.OuterThreads,
-					InnerThreads: deg.InnerThreads,
-					Horizon:      cfg.Horizon,
-					Seed:         cfg.Seed,
+			for _, mode := range []stack.Mode{stack.ModeBaseline, stack.ModeCoop} {
+				combo, deg, mode := combo, deg, mode
+				jobs = append(jobs, harness.Job{
+					Name: fmt.Sprintf("%s-%s-%s/%s/%s", combo.Outer, combo.Inner, implName(combo.Impl), deg.Name, mode),
+					Run: func() harness.Output {
+						res := cholesky.Run(cholesky.Config{
+							Machine:      cfg.Machine,
+							Mode:         mode,
+							N:            cfg.N,
+							TileSize:     cfg.Tile,
+							Outer:        combo.Outer,
+							Inner:        combo.Inner,
+							Impl:         combo.Impl,
+							OuterThreads: deg.OuterThreads,
+							InnerThreads: deg.InnerThreads,
+							Horizon:      cfg.Horizon,
+							Seed:         cfg.Seed,
+						})
+						return harness.Output{Value: res, SimTime: res.Elapsed, TimedOut: res.TimedOut}
+					},
 				})
 			}
+		}
+	}
+	return jobs
+}
+
+// AssembleTable2 pairs ordered (baseline, coop) cell results back into
+// Table2Entry rows.
+func AssembleTable2(cfg Table2Config, results []harness.Result) *Table2Result {
+	out := &Table2Result{Config: cfg}
+	i := 0
+	for _, combo := range cfg.Combos {
+		for _, deg := range cfg.Degrees {
+			base := results[i].Value.(cholesky.Result)
+			coop := results[i+1].Value.(cholesky.Result)
+			i += 2
 			out.Entries = append(out.Entries, Table2Entry{
 				Combo:    combo,
 				Degree:   deg,
-				Baseline: mk(stack.ModeBaseline),
-				Coop:     mk(stack.ModeCoop),
+				Baseline: base,
+				Coop:     coop,
 			})
 		}
 	}
 	return out
+}
+
+// RunTable2 executes the composition study serially.
+func RunTable2(cfg Table2Config) *Table2Result {
+	return AssembleTable2(cfg, harness.Run(Table2Jobs(cfg), 1))
 }
 
 // Render prints Table 2's layout: per combo, baseline GFLOP/s and
@@ -145,11 +183,7 @@ func (r *Table2Result) Render() string {
 		byCombo[e.Combo] = append(byCombo[e.Combo], e)
 	}
 	for _, combo := range r.Config.Combos {
-		impl := "opb"
-		if combo.Impl == blas.BLIS {
-			impl = "blis"
-		}
-		row := []string{combo.Outer.String(), combo.Inner.String(), impl}
+		row := []string{combo.Outer.String(), combo.Inner.String(), implName(combo.Impl)}
 		for _, e := range byCombo[combo] {
 			cell := "timeout"
 			if !e.Baseline.TimedOut {

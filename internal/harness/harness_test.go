@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// countJobs returns n jobs whose values record their declaration index.
+// A non-nil gate makes every job rendezvous inside Run: none returns
+// until all have entered, which only completes with a wide-enough pool.
+func countJobs(n int, gate *sync.WaitGroup) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("cell%d", i),
+			Run: func() Output {
+				if gate != nil {
+					// Rendezvous: every worker must arrive before any
+					// returns, proving real concurrency.
+					gate.Done()
+					gate.Wait()
+				}
+				return Output{Value: i, SimTime: sim.Duration(i) * sim.Second}
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunPreservesDeclarationOrder(t *testing.T) {
+	for _, par := range []int{1, 3, 16} {
+		results := Run(countJobs(20, nil), par)
+		if len(results) != 20 {
+			t.Fatalf("par=%d: %d results", par, len(results))
+		}
+		for i, r := range results {
+			if r.Value.(int) != i {
+				t.Fatalf("par=%d: results[%d] = %v", par, i, r.Value)
+			}
+			if r.Metric.Cell != fmt.Sprintf("cell%d", i) {
+				t.Fatalf("par=%d: cell name %q", par, r.Metric.Cell)
+			}
+			if r.Metric.SimSeconds != float64(i) {
+				t.Fatalf("par=%d: sim seconds %v", par, r.Metric.SimSeconds)
+			}
+		}
+	}
+}
+
+func TestRunActuallyParallel(t *testing.T) {
+	// All 4 jobs block until 4 workers have entered Run; with fewer
+	// concurrent workers this would deadlock, so completion proves the
+	// pool width.
+	var gate sync.WaitGroup
+	gate.Add(4)
+	done := make(chan struct{})
+	go func() {
+		Run(countJobs(4, &gate), 4)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool narrower than par=4: rendezvous never completed")
+	}
+}
+
+func TestRunEmptyAndOversizedPool(t *testing.T) {
+	if got := Run(nil, 8); len(got) != 0 {
+		t.Fatalf("empty jobs -> %d results", len(got))
+	}
+	// par larger than the job count must not leak or deadlock.
+	if got := Run(countJobs(2, nil), 64); len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("positive par must pass through")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("non-positive par must default to GOMAXPROCS")
+	}
+}
+
+func testScenario(name string, cells int) *Scenario {
+	return &Scenario{
+		Name:  name,
+		Title: "Test " + name,
+		Jobs:  func(quick bool) []Job { return countJobs(cells, nil) },
+		Render: func(quick bool, results []Result) string {
+			var sb strings.Builder
+			for _, r := range results {
+				fmt.Fprintf(&sb, "%d ", r.Value.(int))
+			}
+			sb.WriteByte('\n')
+			return sb.String()
+		},
+	}
+}
+
+func TestRegisterLookupAndDuplicatePanic(t *testing.T) {
+	s := testScenario("test-registry", 1)
+	Register(s)
+	got, ok := Lookup("test-registry")
+	if !ok || got != s {
+		t.Fatal("lookup failed after register")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-registry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() missing registered scenario")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(&Scenario{Name: "test-registry"})
+}
+
+func TestRunScenariosSlicesAndRenders(t *testing.T) {
+	ss := []*Scenario{testScenario("test-a", 3), testScenario("test-b", 2)}
+	sw := RunScenarios(ss, true, 2)
+	if sw.Cells() != 5 {
+		t.Fatalf("cells = %d", sw.Cells())
+	}
+	if len(sw.Scenarios) != 2 || len(sw.Scenarios[0].Results) != 3 || len(sw.Scenarios[1].Results) != 2 {
+		t.Fatalf("bad slicing: %+v", sw.Scenarios)
+	}
+	for _, sr := range sw.Scenarios {
+		for _, r := range sr.Results {
+			if r.Metric.Scenario != sr.Scenario.Name {
+				t.Fatalf("metric scenario %q under %q", r.Metric.Scenario, sr.Scenario.Name)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := sw.RenderTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "==== Test test-a ====\n0 1 2 \n") ||
+		!strings.Contains(out, "==== Test test-b ====\n0 1 \n") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestReportJSONRoundTripAndCSV(t *testing.T) {
+	sw := RunScenarios([]*Scenario{testScenario("test-report", 3)}, false, 1)
+	rep := sw.Report()
+	if rep.TotalSimSeconds != 3 { // 0+1+2 sim-seconds
+		t.Fatalf("total sim seconds = %v", rep.TotalSimSeconds)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Workers != rep.Workers || len(back.Cells) != 3 || back.Cells[2].Cell != "cell2" {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	var csvBuf bytes.Buffer
+	if err := metrics.WriteCellCSV(&csvBuf, rep.Cells); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 4 || lines[0] != "scenario,cell,sim_seconds,host_seconds,timed_out" {
+		t.Fatalf("csv:\n%s", csvBuf.String())
+	}
+	if !strings.HasPrefix(lines[3], "test-report,cell2,2,") {
+		t.Fatalf("csv row: %q", lines[3])
+	}
+}

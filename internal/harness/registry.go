@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"io"
+	"time"
+)
+
+// Scenario is a registered experiment: a named expansion of config into
+// independent cell jobs plus a renderer that reassembles ordered
+// results into the paper-style text. Scenarios register at init time
+// (see internal/experiments) and cmd/uschedsim resolves subcommands
+// against the registry.
+type Scenario struct {
+	// Name is the registry key and CLI subcommand ("matmul",
+	// "cholesky", "microservices", "lammps").
+	Name string
+	// Title is the heading printed above the rendered output.
+	Title string
+	// Jobs expands the scenario into its cell jobs. quick selects the
+	// small test-sized configuration over the scaled paper sweep.
+	Jobs func(quick bool) []Job
+	// Render reassembles results (in Jobs order) into display text.
+	Render func(quick bool, results []Result) string
+}
+
+var (
+	registry = map[string]*Scenario{}
+	ordered  []*Scenario
+)
+
+// Register adds a scenario to the registry. Empty or duplicate names
+// panic: registry wiring is an init-time programming error.
+func Register(s *Scenario) {
+	if s.Name == "" {
+		panic("harness: scenario with empty name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic("harness: duplicate scenario " + s.Name)
+	}
+	registry[s.Name] = s
+	ordered = append(ordered, s)
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (*Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Scenarios returns all registered scenarios in registration order.
+func Scenarios() []*Scenario {
+	return append([]*Scenario(nil), ordered...)
+}
+
+// Names returns the registered scenario names in registration order.
+func Names() []string {
+	ns := make([]string, len(ordered))
+	for i, s := range ordered {
+		ns[i] = s.Name
+	}
+	return ns
+}
+
+// expand returns the scenario's jobs with the Scenario tag stamped.
+func (s *Scenario) expand(quick bool) []Job {
+	jobs := s.Jobs(quick)
+	for i := range jobs {
+		jobs[i].Scenario = s.Name
+	}
+	return jobs
+}
+
+// ScenarioResult is one scenario's slice of a sweep.
+type ScenarioResult struct {
+	Scenario *Scenario
+	Results  []Result
+}
+
+// Sweep is the outcome of RunScenarios: per-scenario ordered results
+// plus the pool configuration and wall time of the whole run.
+type Sweep struct {
+	Quick     bool
+	Par       int
+	Scenarios []ScenarioResult
+	// HostTime is the wall-clock time of the pooled run.
+	HostTime time.Duration
+}
+
+// RunScenarios expands every scenario into cells, runs all cells
+// through one bounded pool (so `all` parallelises across scenarios,
+// not just within one), and slices the ordered results back per
+// scenario.
+func RunScenarios(ss []*Scenario, quick bool, par int) *Sweep {
+	var jobs []Job
+	bounds := make([]int, 0, len(ss)+1)
+	for _, s := range ss {
+		bounds = append(bounds, len(jobs))
+		jobs = append(jobs, s.expand(quick)...)
+	}
+	bounds = append(bounds, len(jobs))
+	// Record the effective pool width (Run clamps identically), so the
+	// report's workers field matches what actually ran.
+	par = Workers(par)
+	if len(jobs) > 0 && par > len(jobs) {
+		par = len(jobs)
+	}
+	start := time.Now()
+	results := Run(jobs, par)
+	sw := &Sweep{Quick: quick, Par: par, HostTime: time.Since(start)}
+	for i, s := range ss {
+		sw.Scenarios = append(sw.Scenarios, ScenarioResult{
+			Scenario: s,
+			Results:  results[bounds[i]:bounds[i+1]],
+		})
+	}
+	return sw
+}
+
+// Cells returns the total cell count across the sweep.
+func (sw *Sweep) Cells() int {
+	n := 0
+	for _, sr := range sw.Scenarios {
+		n += len(sr.Results)
+	}
+	return n
+}
+
+// RenderTables writes each scenario's title and rendered tables to w.
+// The output depends only on cell results (never on scheduling or
+// timing), so it is byte-identical for any worker count.
+func (sw *Sweep) RenderTables(w io.Writer) error {
+	for _, sr := range sw.Scenarios {
+		if _, err := io.WriteString(w, "==== "+sr.Scenario.Title+" ====\n"); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, sr.Scenario.Render(sw.Quick, sr.Results)); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Report is the structured -json/-out payload: per-cell sim-time and
+// host-time metrics plus sweep totals, for tracking the performance
+// trajectory of the reproduction across changes.
+type Report struct {
+	// Workers is the resolved pool size the sweep ran with.
+	Workers int `json:"workers"`
+	// Quick records whether the small configurations were used.
+	Quick bool `json:"quick"`
+	// Cells holds one metric row per simulation cell, in declaration
+	// order.
+	Cells []metrics.CellMetric `json:"cells"`
+	// TotalSimSeconds sums the simulated time covered by all cells.
+	TotalSimSeconds float64 `json:"total_sim_seconds"`
+	// TotalHostSeconds sums per-cell host residency. Cells time-sharing
+	// host cores inflate each other's residency, so compare this across
+	// changes only at equal -par (at -par 1 it is pure compute time).
+	TotalHostSeconds float64 `json:"total_host_seconds"`
+	// WallSeconds is the sweep's wall-clock time (shrinks with -par).
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Report converts the sweep's metrics into a serialisable report.
+func (sw *Sweep) Report() *Report {
+	r := &Report{Workers: sw.Par, Quick: sw.Quick, WallSeconds: sw.HostTime.Seconds()}
+	for _, sr := range sw.Scenarios {
+		for _, res := range sr.Results {
+			r.Cells = append(r.Cells, res.Metric)
+			r.TotalSimSeconds += res.Metric.SimSeconds
+			r.TotalHostSeconds += res.Metric.HostSeconds
+		}
+	}
+	return r
+}
+
+// JSON serialises the report with indentation.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// CSVPath reports whether path selects CSV output (a case-insensitive
+// .csv extension).
+func CSVPath(path string) bool {
+	return strings.EqualFold(filepath.Ext(path), ".csv")
+}
+
+// Write serialises the report to w: CSV rows when csv is true, indented
+// JSON otherwise.
+func (r *Report) Write(w io.Writer, csv bool) error {
+	if csv {
+		return metrics.WriteCellCSV(w, r.Cells)
+	}
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

@@ -1,0 +1,116 @@
+// Package harness turns the paper's experiment sweeps into named,
+// self-contained simulation cells and fans them out over a bounded
+// worker pool. Every cell builds a fresh, deterministic sim.Engine from
+// its captured config, so cells are independent and a sweep's results
+// are byte-identical regardless of worker count: the runner reassembles
+// them in declaration order before rendering.
+//
+// The package has two layers:
+//
+//   - a generic runner (Job, Output, Result, Run) that executes any
+//     slice of cells with bounded parallelism and records per-cell
+//     sim-time and host-time metrics;
+//   - a scenario registry (Scenario, Register, Lookup, RunScenarios)
+//     that names whole experiments, expands them into cells, and slices
+//     the pooled results back per scenario for rendering and reporting.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Job is one self-contained simulation cell: Run constructs a fresh
+// engine from its captured config and returns the typed cell result.
+// Jobs must not share mutable state; the runner calls Run from worker
+// goroutines.
+type Job struct {
+	// Scenario is the owning scenario's registry name (stamped by the
+	// registry during expansion; jobs run directly may leave it empty).
+	Scenario string
+	// Name identifies the cell within its scenario, e.g.
+	// "sched_coop/tasks512/omp8".
+	Name string
+	// Run executes the cell.
+	Run func() Output
+}
+
+// Output is what a Job's Run returns.
+type Output struct {
+	// Value is the cell's typed result, handed back to the scenario's
+	// assemble/render step in declaration order.
+	Value any
+	// SimTime is how far the cell's simulated clock advanced.
+	SimTime sim.Duration
+	// TimedOut marks cells that hit their horizon (the paper's white
+	// squares).
+	TimedOut bool
+}
+
+// Result pairs a cell's value with its measured cost.
+type Result struct {
+	Value  any
+	Metric metrics.CellMetric
+}
+
+// Workers normalises a -par value: n when positive, GOMAXPROCS
+// otherwise.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes jobs on a bounded pool of par workers (par <= 0 means
+// GOMAXPROCS) and returns results indexed exactly like jobs, so
+// downstream assembly is independent of completion order.
+func Run(jobs []Job, par int) []Result {
+	par = Workers(par)
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	if par <= 1 {
+		for i := range jobs {
+			results[i] = runOne(jobs[i])
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func runOne(j Job) Result {
+	start := time.Now()
+	out := j.Run()
+	return Result{
+		Value: out.Value,
+		Metric: metrics.CellMetric{
+			Scenario:    j.Scenario,
+			Cell:        j.Name,
+			SimSeconds:  out.SimTime.Seconds(),
+			HostSeconds: time.Since(start).Seconds(),
+			TimedOut:    out.TimedOut,
+		},
+	}
+}

@@ -99,6 +99,11 @@ type Kernel struct {
 	nextPid Pid
 	nextTid Tid
 
+	// threadOfProc maps this kernel's sim procs back to their threads.
+	// It is per-kernel (not package-global) so independent engines can
+	// run concurrently on different host cores.
+	threadOfProc map[*sim.Proc]*Thread
+
 	bw *bwManager
 
 	Stats Counters
@@ -125,12 +130,13 @@ func New(eng *sim.Engine, cfg hw.Config, params SchedParams) *Kernel {
 		panic(err)
 	}
 	k := &Kernel{
-		Eng:     eng,
-		HW:      cfg,
-		Params:  params,
-		procs:   make(map[Pid]*Process),
-		threads: make(map[Tid]*Thread),
-		Local:   make(map[string]any),
+		Eng:          eng,
+		HW:           cfg,
+		Params:       params,
+		procs:        make(map[Pid]*Process),
+		threads:      make(map[Tid]*Thread),
+		threadOfProc: make(map[*sim.Proc]*Thread),
+		Local:        make(map[string]any),
 	}
 	n := cfg.Topo.Cores()
 	k.cores = make([]*core, n)
@@ -219,15 +225,11 @@ func (k *Kernel) Current() *Thread {
 	if p == nil {
 		return nil
 	}
-	if t, ok := threadOfProc[p]; ok && t.kern == k {
+	if t, ok := k.threadOfProc[p]; ok {
 		return t
 	}
 	return nil
 }
-
-// threadOfProc maps sim procs back to their threads. The simulator runs a
-// single proc at a time, so a plain map needs no locking.
-var threadOfProc = map[*sim.Proc]*Thread{}
 
 // CoreBusy reports whether core c currently runs a thread.
 func (k *Kernel) CoreBusy(c int) bool { return k.cores[c].curr != nil }

@@ -188,7 +188,7 @@ func (k *Kernel) SpawnThread(p *Process, name string, fn func(t *Thread)) *Threa
 		defer k.exitThread(t)
 		fn(t)
 	})
-	threadOfProc[t.proc] = t
+	k.threadOfProc[t.proc] = t
 	k.wake(t, false)
 	return t
 }
@@ -419,5 +419,5 @@ func (k *Kernel) exitThread(t *Thread) {
 	}
 	t.state = ThreadExited
 	t.seg = nil
-	delete(threadOfProc, t.proc)
+	delete(t.kern.threadOfProc, t.proc)
 }

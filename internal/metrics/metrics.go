@@ -4,8 +4,11 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/sim"
@@ -116,6 +119,46 @@ func Summarize(ds []sim.Duration) LatencyStats {
 		Min:  sorted[0],
 		Max:  sorted[len(sorted)-1],
 	}
+}
+
+// CellMetric records one experiment cell's cost: the simulated time its
+// engine covered and the host time spent computing it. The harness
+// emits one row per cell so sweeps can be compared across changes.
+type CellMetric struct {
+	// Scenario is the owning experiment's registry name.
+	Scenario string `json:"scenario,omitempty"`
+	// Cell names the cell within its scenario.
+	Cell string `json:"cell"`
+	// SimSeconds is the simulated time the cell's engine advanced.
+	SimSeconds float64 `json:"sim_seconds"`
+	// HostSeconds is the cell's host wall-clock residency: time from
+	// start to finish of its Run, including time descheduled while
+	// other cells share the host's cores.
+	HostSeconds float64 `json:"host_seconds"`
+	// TimedOut marks cells that hit their simulation horizon.
+	TimedOut bool `json:"timed_out,omitempty"`
+}
+
+// WriteCellCSV writes cells as CSV with a header row.
+func WriteCellCSV(w io.Writer, cells []CellMetric) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "cell", "sim_seconds", "host_seconds", "timed_out"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		rec := []string{
+			c.Scenario,
+			c.Cell,
+			strconv.FormatFloat(c.SimSeconds, 'g', -1, 64),
+			strconv.FormatFloat(c.HostSeconds, 'g', -1, 64),
+			strconv.FormatBool(c.TimedOut),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Table renders rows of columns with right-aligned numeric formatting.

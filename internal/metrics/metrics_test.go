@@ -135,3 +135,27 @@ func TestTableRendering(t *testing.T) {
 		t.Fatalf("line count = %d:\n%s", len(lines), out)
 	}
 }
+
+func TestCellMetricCSV(t *testing.T) {
+	cells := []CellMetric{
+		{Scenario: "matmul", Cell: "coop/tasks512/omp8", SimSeconds: 1.5, HostSeconds: 0.25},
+		{Scenario: "matmul", Cell: "original/tasks512/omp8", SimSeconds: 5, HostSeconds: 0.5, TimedOut: true},
+	}
+	var sb strings.Builder
+	if err := WriteCellCSV(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("line count = %d:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "scenario,cell,sim_seconds,host_seconds,timed_out" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "matmul,coop/tasks512/omp8,1.5,0.25,false" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "matmul,original/tasks512/omp8,5,0.5,true" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}

@@ -1,0 +1,163 @@
+package spin
+
+import (
+	"testing"
+
+	"repro/internal/glibc"
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func runApp(t *testing.T, cores int, app func(l *glibc.Lib)) {
+	t.Helper()
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = cores
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	if _, err := glibc.StartProcess(k, "app", glibc.Options{}, app); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkBackoffAndCaps(t *testing.T) {
+	if chunk(0, false) != baseChunk {
+		t.Fatalf("chunk(0) = %v, want %v", chunk(0, false), baseChunk)
+	}
+	if chunk(1, false) != 2*baseChunk {
+		t.Fatalf("chunk(1) = %v, want doubling", chunk(1, false))
+	}
+	for i := 0; i < 80; i++ {
+		y, n := chunk(i, true), chunk(i, false)
+		if y <= 0 || y > maxChunkYield {
+			t.Fatalf("chunk(%d, yield) = %v out of (0, %v]", i, y, maxChunkYield)
+		}
+		if n <= 0 || n > maxChunkNoYield {
+			t.Fatalf("chunk(%d, noyield) = %v out of (0, %v]", i, n, maxChunkNoYield)
+		}
+	}
+	// Large i overflows the shift; the cap must still hold.
+	if chunk(63, false) != maxChunkNoYield || chunk(63, true) != maxChunkYield {
+		t.Fatal("overflowed chunk not clamped to max")
+	}
+}
+
+func TestUntilSpinsUntilPredicate(t *testing.T) {
+	for _, yield := range []bool{false, true} {
+		var waited sim.Duration
+		runApp(t, 2, func(l *glibc.Lib) {
+			flag := false
+			setter := l.PthreadCreate("setter", func() {
+				l.Compute(2 * sim.Millisecond)
+				flag = true
+			})
+			start := l.K.Eng.Now()
+			Until(l, func() bool { return flag }, yield)
+			waited = l.K.Eng.Now().Sub(start)
+			if !flag {
+				t.Errorf("yield=%v: Until returned before predicate held", yield)
+			}
+			l.PthreadJoin(setter)
+		})
+		// The spinner has its own core, so it observes the setter's 2ms
+		// of work (give or take scheduling costs).
+		if waited < 1*sim.Millisecond || waited > 20*sim.Millisecond {
+			t.Fatalf("yield=%v: waited %v, want ~2ms", yield, waited)
+		}
+	}
+}
+
+func TestBarrierReleasesAllExactlyOneReleaser(t *testing.T) {
+	const n = 4
+	for _, yield := range []bool{false, true} {
+		releasers := 0
+		arrived := 0
+		runApp(t, n, func(l *glibc.Lib) {
+			b := NewBarrier(l, n, yield)
+			var pts []*glibc.Pthread
+			for i := 0; i < n-1; i++ {
+				i := i
+				pts = append(pts, l.PthreadCreate("w", func() {
+					l.Compute(sim.Duration(i+1) * 100 * sim.Microsecond)
+					if b.Wait() {
+						releasers++
+					}
+					arrived++
+				}))
+			}
+			if b.Wait() {
+				releasers++
+			}
+			arrived++
+			for _, pt := range pts {
+				l.PthreadJoin(pt)
+			}
+		})
+		if arrived != n {
+			t.Fatalf("yield=%v: %d/%d participants returned", yield, arrived, n)
+		}
+		if releasers != 1 {
+			t.Fatalf("yield=%v: %d releasers, want exactly 1", yield, releasers)
+		}
+	}
+}
+
+func TestBarrierGenerationsReusable(t *testing.T) {
+	const n, rounds = 3, 5
+	passes := 0
+	var b *Barrier
+	runApp(t, n, func(l *glibc.Lib) {
+		b = NewBarrier(l, n, true)
+		var pts []*glibc.Pthread
+		for i := 0; i < n-1; i++ {
+			pts = append(pts, l.PthreadCreate("w", func() {
+				for r := 0; r < rounds; r++ {
+					l.Compute(50 * sim.Microsecond)
+					b.Wait()
+				}
+			}))
+		}
+		for r := 0; r < rounds; r++ {
+			b.Wait()
+			passes++
+		}
+		for _, pt := range pts {
+			l.PthreadJoin(pt)
+		}
+	})
+	if passes != rounds {
+		t.Fatalf("main passed %d rounds, want %d", passes, rounds)
+	}
+	if b.gen != rounds {
+		t.Fatalf("generation = %d after %d rounds", b.gen, rounds)
+	}
+}
+
+func TestBarrierYieldCompletesOversubscribed(t *testing.T) {
+	// Twice as many spinners as cores: the yield patch must let waiting
+	// threads relinquish so the stragglers can arrive (§5.2's hazard).
+	const cores, n = 2, 4
+	done := 0
+	runApp(t, cores, func(l *glibc.Lib) {
+		b := NewBarrier(l, n, true)
+		var pts []*glibc.Pthread
+		for i := 0; i < n; i++ {
+			i := i
+			pts = append(pts, l.PthreadCreate("w", func() {
+				l.Compute(sim.Duration(i+1) * 200 * sim.Microsecond)
+				b.Wait()
+				done++
+			}))
+		}
+		for _, pt := range pts {
+			l.PthreadJoin(pt)
+		}
+	})
+	if done != n {
+		t.Fatalf("%d/%d oversubscribed spinners completed", done, n)
+	}
+}

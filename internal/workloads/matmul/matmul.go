@@ -41,7 +41,7 @@ type Config struct {
 // Result reports one run.
 type Result struct {
 	// GFLOPS is the achieved rate (the paper's MOPS/s metric up to a
-	// constant; see EXPERIMENTS.md).
+	// constant; see the scaling note in README.md).
 	GFLOPS   float64
 	Elapsed  sim.Duration
 	TimedOut bool
