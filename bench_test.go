@@ -409,3 +409,25 @@ func benchTASIO(b *testing.B, tasio bool) {
 
 func BenchmarkAblationTASIOOff(b *testing.B) { benchTASIO(b, false) }
 func BenchmarkAblationTASIOOn(b *testing.B)  { benchTASIO(b, true) }
+
+// --- schedcmp: kernel-scheduler ablation ------------------------------
+
+// benchSchedCmpMatmul runs the oversubscribed matmul cell under one
+// kernel scheduling class (Baseline stack, no USF).
+func benchSchedCmpMatmul(b *testing.B, class string) {
+	cfg := matmulCell(stack.ModeBaseline, 512, 8)
+	cfg.KernelClass = class
+	var last matmul.Result
+	for i := 0; i < b.N; i++ {
+		last = matmul.Run(cfg)
+	}
+	if !last.TimedOut {
+		b.ReportMetric(last.GFLOPS, "sim-GFLOPS")
+	}
+	b.ReportMetric(float64(last.Preemptions), "sim-preemptions")
+}
+
+func BenchmarkSchedCmpMatmulFair(b *testing.B)  { benchSchedCmpMatmul(b, "fair") }
+func BenchmarkSchedCmpMatmulRR(b *testing.B)    { benchSchedCmpMatmul(b, "rr") }
+func BenchmarkSchedCmpMatmulFIFO(b *testing.B)  { benchSchedCmpMatmul(b, "fifo") }
+func BenchmarkSchedCmpMatmulBatch(b *testing.B) { benchSchedCmpMatmul(b, "batch") }

@@ -8,6 +8,7 @@
 //	uschedsim cholesky [-quick]       # Table 2
 //	uschedsim microservices [-quick]  # Figure 4
 //	uschedsim lammps [-quick]         # Figure 5 (+ bandwidth trace)
+//	uschedsim schedcmp [-quick]       # kernel-scheduler ablation (classes × oversubscription)
 //	uschedsim all -quick              # everything, small instances
 //
 // Flags may appear before or after the subcommand:
@@ -16,6 +17,10 @@
 //	-par N      run N sim cells concurrently (default GOMAXPROCS)
 //	-json       print the per-cell metrics report as JSON instead of tables
 //	-out FILE   also write the metrics report to FILE (.csv selects CSV)
+//	-trace FILE instead of sweeping, run one representative cell of the
+//	            scenario with kernel event tracing and write Chrome
+//	            trace-event JSON (chrome://tracing, Perfetto) to FILE;
+//	            events are tagged with the scheduling class
 //
 // Experiments are resolved against the internal/harness scenario
 // registry; their independent cells fan out over a bounded worker pool
@@ -50,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	par := fs.Int("par", 0, "sim cells to run concurrently (0 means GOMAXPROCS)")
 	asJSON := fs.Bool("json", false, "print the metrics report as JSON instead of tables")
 	outPath := fs.String("out", "", "write the metrics report to `file` (.csv selects CSV, otherwise JSON)")
+	tracePath := fs.String("trace", "", "run one representative traced cell and write Chrome trace-event JSON to `file`")
 	fs.Usage = func() { usage(fs) }
 	parse := func(args []string) (int, bool) {
 		switch err := fs.Parse(args); {
@@ -85,8 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var scenarios []*harness.Scenario
 	switch cmd {
 	case "machine":
-		if *asJSON || *outPath != "" {
-			fmt.Fprintln(stderr, "uschedsim: machine does not support -json or -out")
+		if *asJSON || *outPath != "" || *tracePath != "" {
+			fmt.Fprintln(stderr, "uschedsim: machine does not support -json, -out, or -trace")
 			return 2
 		}
 		machineCmd(stdout)
@@ -101,6 +107,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		scenarios = []*harness.Scenario{s}
+	}
+
+	if *tracePath != "" {
+		return traceCmd(scenarios, cmd, *quick, *asJSON || *outPath != "", *tracePath, stderr)
 	}
 
 	// Open a temp file next to the report target before the sweep: a bad
@@ -154,6 +164,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	return 0
+}
+
+// traceCmd runs the scenario's representative traced cell and writes the
+// Chrome trace-event JSON. It replaces the sweep: the traced cell runs
+// serially (traces from a pooled sweep would interleave engines).
+func traceCmd(scenarios []*harness.Scenario, cmd string, quick, withReport bool, path string, stderr io.Writer) int {
+	if withReport {
+		fmt.Fprintln(stderr, "uschedsim: -trace cannot be combined with -json or -out")
+		return 2
+	}
+	if len(scenarios) != 1 {
+		fmt.Fprintln(stderr, "uschedsim: -trace needs a single scenario subcommand")
+		return 2
+	}
+	s := scenarios[0]
+	if s.Trace == nil {
+		fmt.Fprintf(stderr, "uschedsim: scenario %q does not support tracing\n", s.Name)
+		return 2
+	}
+	buf := s.Trace(quick)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "uschedsim:", err)
+		return 2
+	}
+	if err := buf.WriteChromeTrace(f); err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, "uschedsim:", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, "uschedsim:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "(%s: %d trace events written to %s, %d dropped)\n",
+		cmd, buf.Len(), path, buf.Dropped)
 	return 0
 }
 

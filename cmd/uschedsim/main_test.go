@@ -104,3 +104,77 @@ func TestJSONReportRoundTripAndOutFile(t *testing.T) {
 		t.Fatalf("-out csv:\n%s", data)
 	}
 }
+
+func TestSchedCmpSubcommand(t *testing.T) {
+	code, out, errOut := runCLI(t, "schedcmp", "-quick", "-par", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{"Kernel-scheduler ablation", "fair", "rr", "fifo", "batch", "speedup vs fair"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("schedcmp output missing %q:\n%s", want, out)
+		}
+	}
+	// Determinism across pool widths, like every other scenario.
+	code, out2, _ := runCLI(t, "-par", "5", "schedcmp", "-quick")
+	if code != 0 || out != out2 {
+		t.Fatalf("schedcmp tables differ between -par 2 and -par 5 (exit %d)", code)
+	}
+}
+
+func TestTraceFlagWritesChromeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, out, errOut := runCLI(t, "schedcmp", "-quick", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if out != "" {
+		t.Fatalf("-trace must not print tables, got:\n%s", out)
+	}
+	if !strings.Contains(errOut, "trace events written") {
+		t.Fatalf("missing trace summary on stderr:\n%s", errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(data, &evs); err != nil {
+		t.Fatalf("trace file is not a JSON event array: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("trace file holds no events")
+	}
+	// Dispatch slices carry the scheduling-class tag.
+	tagged := false
+	for _, e := range evs {
+		if e["ph"] == "B" {
+			if args, ok := e["args"].(map[string]any); ok && args["class"] != nil {
+				tagged = true
+				break
+			}
+		}
+	}
+	if !tagged {
+		t.Fatal("no run-start event carries a scheduling-class tag")
+	}
+}
+
+func TestTraceFlagErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	// cholesky has no tracer hookup.
+	if code, _, errOut := runCLI(t, "cholesky", "-quick", "-trace", path); code != 2 ||
+		!strings.Contains(errOut, "does not support tracing") {
+		t.Fatalf("cholesky -trace: exit %d, stderr:\n%s", code, errOut)
+	}
+	// -trace is a single-scenario mode.
+	if code, _, errOut := runCLI(t, "all", "-quick", "-trace", path); code != 2 ||
+		!strings.Contains(errOut, "single scenario") {
+		t.Fatalf("all -trace: exit %d, stderr:\n%s", code, errOut)
+	}
+	// ...and excludes the metrics report.
+	if code, _, errOut := runCLI(t, "matmul", "-quick", "-trace", path, "-json"); code != 2 ||
+		!strings.Contains(errOut, "cannot be combined") {
+		t.Fatalf("-trace -json: exit %d, stderr:\n%s", code, errOut)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/harness"
 	"repro/internal/stack"
 	"repro/internal/workloads/inference"
 	"repro/internal/workloads/md"
@@ -147,5 +148,53 @@ func TestFigure5QuickSweep(t *testing.T) {
 	}
 	if res.RenderBWTrace(md.SchedCoopNode, 20) == "" {
 		t.Fatal("bandwidth trace empty")
+	}
+}
+
+func TestSchedCmpQuickSweep(t *testing.T) {
+	cfg := QuickSchedCmp()
+	cfg.Classes = []string{"fair", "fifo"}
+	cfg.Oversub = []int{1, 4}
+	res := RunSchedCmp(cfg)
+	if len(res.Matmul) != 2 || len(res.Matmul[0]) != 2 ||
+		len(res.Services) != 2 || len(res.Services[0]) != 2 {
+		t.Fatalf("grid shape wrong: %d×%d matmul, %d×%d services",
+			len(res.Matmul), len(res.Matmul[0]), len(res.Services), len(res.Services[0]))
+	}
+	for ri, class := range cfg.Classes {
+		for ci := range cfg.Oversub {
+			m := res.Matmul[ri][ci]
+			if m.Class != class || (!m.TimedOut && m.GFLOPS <= 0) {
+				t.Fatalf("bad matmul cell %+v", m)
+			}
+			s := res.Services[ri][ci]
+			if s.Class != class || (!s.TimedOut && s.Stats.P99 <= 0) {
+				t.Fatalf("bad services cell %+v", s)
+			}
+		}
+	}
+	// FIFO must schedule visibly differently from fair: CPU hogs are
+	// never slice-preempted.
+	fairPre := res.Matmul[0][1].Preemptions
+	fifoPre := res.Matmul[1][1].Preemptions
+	if fifoPre >= fairPre {
+		t.Fatalf("fifo preemptions %d >= fair %d under oversubscription", fifoPre, fairPre)
+	}
+	out := res.Render()
+	for _, want := range []string{"nested matmul GFLOP/s", "speedup vs fair", "p99 latency", "preemptions", "fifo"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSchedCmpParallelMatchesSerial(t *testing.T) {
+	cfg := QuickSchedCmp()
+	cfg.Classes = []string{"fair", "batch"}
+	cfg.Oversub = []int{1, 2}
+	serial := AssembleSchedCmp(cfg, harness.Run(SchedCmpJobs(cfg), 1)).Render()
+	parallel := AssembleSchedCmp(cfg, harness.Run(SchedCmpJobs(cfg), 4)).Render()
+	if serial != parallel {
+		t.Fatalf("schedcmp tables differ between par 1 and par 4:\n%s\n---\n%s", serial, parallel)
 	}
 }

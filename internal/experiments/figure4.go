@@ -55,13 +55,19 @@ func DefaultFigure4() Figure4Config {
 	}
 }
 
-// QuickFigure4 is a fast, small variant.
-func QuickFigure4() Figure4Config {
-	models := []inference.Model{
+// quickModels returns the 10%-work model profiles shared by the quick
+// microservices configurations (Figure 4 and schedcmp).
+func quickModels() []inference.Model {
+	return []inference.Model{
 		{Name: "llama", Work: 5770 * sim.Millisecond, SerialFrac: 0.06, Threads: 8, OptShare: 0.64},
 		{Name: "gpt2", Work: 1010 * sim.Millisecond, SerialFrac: 0.06, Threads: 4, OptShare: 0.21},
 		{Name: "roberta", Work: 676 * sim.Millisecond, SerialFrac: 0.06, Threads: 4, OptShare: 0.14},
 	}
+}
+
+// QuickFigure4 is a fast, small variant.
+func QuickFigure4() Figure4Config {
+	models := quickModels()
 	return Figure4Config{
 		Machine:      hw.DualSocket16(),
 		Rates:        []float64{0.33, 1.0},

@@ -2,6 +2,10 @@ package experiments
 
 import (
 	"repro/internal/harness"
+	"repro/internal/stack"
+	"repro/internal/trace"
+	"repro/internal/workloads/inference"
+	"repro/internal/workloads/matmul"
 	"repro/internal/workloads/md"
 )
 
@@ -38,6 +42,76 @@ func figure5Config(quick bool) Figure5Config {
 	return DefaultFigure5()
 }
 
+func schedCmpConfig(quick bool) SchedCmpConfig {
+	if quick {
+		return QuickSchedCmp()
+	}
+	return DefaultSchedCmp()
+}
+
+// traceCap bounds -trace recordings: a flight-recorder ring holding the
+// last million scheduling events.
+const traceCap = 1 << 20
+
+// traceMatmul runs one representative matmul cell (Baseline mode, the
+// config's smallest task size and widest inner team — the most
+// oversubscribed corner) with tracing enabled.
+func traceMatmul(cfg Figure3Config) *trace.Buffer {
+	buf := trace.NewBuffer(traceCap)
+	matmul.Run(matmul.Config{
+		Machine:    cfg.Machine,
+		Mode:       stack.ModeBaseline,
+		N:          cfg.N,
+		TaskSize:   cfg.TaskSizes[len(cfg.TaskSizes)-1],
+		OMPThreads: cfg.OMPThreads[len(cfg.OMPThreads)-1],
+		Reps:       cfg.Reps,
+		Horizon:    cfg.Horizon,
+		Seed:       cfg.Seed,
+		Tracer:     buf,
+	})
+	return buf
+}
+
+// traceMicroservices runs one representative microservices cell (the
+// bl-none scheme at the timeline rate) with tracing enabled.
+func traceMicroservices(cfg Figure4Config) *trace.Buffer {
+	buf := trace.NewBuffer(traceCap)
+	inference.Run(inference.Config{
+		Machine:  cfg.Machine,
+		Scheme:   inference.BlNone,
+		Rate:     cfg.TimelineRate,
+		Requests: cfg.Requests,
+		Batches:  cfg.Batches,
+		Scale:    cfg.Scale,
+		Models:   cfg.Models,
+		Horizon:  cfg.Horizon,
+		Seed:     cfg.Seed,
+		Tracer:   buf,
+	})
+	return buf
+}
+
+// traceSchedCmp traces the matmul leg's most oversubscribed cell under
+// the last configured (non-fair, if any) kernel class, so the class tag
+// in the trace is visibly exercised.
+func traceSchedCmp(cfg SchedCmpConfig) *trace.Buffer {
+	buf := trace.NewBuffer(traceCap)
+	class := cfg.Classes[len(cfg.Classes)-1]
+	matmul.Run(matmul.Config{
+		Machine:     cfg.Machine,
+		Mode:        stack.ModeBaseline,
+		N:           cfg.N,
+		TaskSize:    cfg.TaskSize,
+		OMPThreads:  cfg.Oversub[len(cfg.Oversub)-1],
+		Reps:        cfg.Reps,
+		Horizon:     cfg.Horizon,
+		Seed:        cfg.Seed,
+		KernelClass: class,
+		Tracer:      buf,
+	})
+	return buf
+}
+
 func init() {
 	harness.Register(&harness.Scenario{
 		Name:  "matmul",
@@ -47,6 +121,9 @@ func init() {
 		},
 		Render: func(quick bool, results []harness.Result) string {
 			return AssembleFigure3(figure3Config(quick), results).Render()
+		},
+		Trace: func(quick bool) *trace.Buffer {
+			return traceMatmul(figure3Config(quick))
 		},
 	})
 	harness.Register(&harness.Scenario{
@@ -68,6 +145,9 @@ func init() {
 		Render: func(quick bool, results []harness.Result) string {
 			return AssembleFigure4(figure4Config(quick), results).Render()
 		},
+		Trace: func(quick bool) *trace.Buffer {
+			return traceMicroservices(figure4Config(quick))
+		},
 	})
 	harness.Register(&harness.Scenario{
 		Name:  "lammps",
@@ -78,6 +158,19 @@ func init() {
 		Render: func(quick bool, results []harness.Result) string {
 			res := AssembleFigure5(figure5Config(quick), results)
 			return res.Render() + res.RenderBWTrace(md.SchedCoopNode, 30)
+		},
+	})
+	harness.Register(&harness.Scenario{
+		Name:  "schedcmp",
+		Title: "Kernel-scheduler ablation: scheduling classes × oversubscription",
+		Jobs: func(quick bool) []harness.Job {
+			return SchedCmpJobs(schedCmpConfig(quick))
+		},
+		Render: func(quick bool, results []harness.Result) string {
+			return AssembleSchedCmp(schedCmpConfig(quick), results).Render()
+		},
+		Trace: func(quick bool) *trace.Buffer {
+			return traceSchedCmp(schedCmpConfig(quick))
 		},
 	})
 }

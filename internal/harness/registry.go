@@ -3,6 +3,8 @@ package harness
 import (
 	"io"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Scenario is a registered experiment: a named expansion of config into
@@ -21,6 +23,11 @@ type Scenario struct {
 	Jobs func(quick bool) []Job
 	// Render reassembles results (in Jobs order) into display text.
 	Render func(quick bool, results []Result) string
+	// Trace, when non-nil, runs one representative cell of the
+	// scenario with kernel event tracing enabled and returns the
+	// recorded buffer (the cmd/uschedsim -trace flag). Scenarios whose
+	// workloads cannot attach a tracer leave it nil.
+	Trace func(quick bool) *trace.Buffer
 }
 
 var (

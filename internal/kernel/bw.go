@@ -15,13 +15,13 @@ type bwManager struct {
 type socketBW struct {
 	id     int
 	demand float64           // sum of registered demands, bytes/ns
-	segs   map[*Thread]*core // running bandwidth-consuming segments
+	segs   map[*Thread]*Core // running bandwidth-consuming segments
 }
 
 func newBWManager(k *Kernel) *bwManager {
 	m := &bwManager{k: k}
 	for s := 0; s < k.HW.Topo.Sockets; s++ {
-		m.sockets = append(m.sockets, &socketBW{id: s, segs: make(map[*Thread]*core)})
+		m.sockets = append(m.sockets, &socketBW{id: s, segs: make(map[*Thread]*Core)})
 	}
 	return m
 }
@@ -37,7 +37,7 @@ func (m *bwManager) scale(s *socketBW) float64 {
 // register starts accounting for t's current segment on c's socket, sets
 // the segment speed, and (re)schedules completion events for every segment
 // sharing the socket.
-func (m *bwManager) register(c *core, t *Thread) {
+func (m *bwManager) register(c *Core, t *Thread) {
 	s := m.sockets[m.k.HW.Topo.SocketOf(c.id)]
 	if t.seg.bw > 0 {
 		s.demand += t.seg.bw
@@ -52,7 +52,7 @@ func (m *bwManager) register(c *core, t *Thread) {
 }
 
 // deregister stops accounting for t's segment.
-func (m *bwManager) deregister(c *core, t *Thread) {
+func (m *bwManager) deregister(c *Core, t *Thread) {
 	if t.seg == nil || t.seg.bw <= 0 {
 		return
 	}
@@ -91,7 +91,7 @@ func (m *bwManager) retimeSocket(s *socketBW) {
 }
 
 // retime (re)schedules the completion event for t's running segment.
-func (m *bwManager) retime(c *core, t *Thread) {
+func (m *bwManager) retime(c *Core, t *Thread) {
 	seg := t.seg
 	if seg.endEv != nil {
 		seg.endEv.Cancel()

@@ -1,0 +1,157 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Class is a pluggable kernel scheduling class, mirroring Linux's
+// sched_class vtable. Each class owns its per-core runqueue type and all
+// class-specific policy: pick order (Rank), time slicing, slice-expiry and
+// wake-up preemption rules, runtime accounting, and whether load balancing
+// may migrate its queued threads. Core dispatch (enqueue, pick, preempt,
+// steal, balance) is class-agnostic and consults only this interface.
+//
+// Implementations embed ClassBase, which carries the kernel binding and
+// queue slot the kernel assigns at construction time. New classes register
+// a constructor with RegisterClass; selection flows through
+// SchedParams.DefaultClass and Thread.SetClass.
+type Class interface {
+	// Name is the registry key ("fair", "rr", "fifo", "batch").
+	Name() string
+	// Rank orders classes for picking and cross-class wake-up
+	// preemption: a waking thread of a lower-ranked class preempts a
+	// current thread of a higher-ranked one, and cores pick from queues
+	// in ascending rank order.
+	Rank() int
+	// NewQueue returns an empty per-core runqueue for the class.
+	NewQueue() RunQueue
+	// Slice returns the time slice to grant t on core c given the
+	// present queue depth; a non-positive slice means run-to-block (no
+	// slice-expiry preemption, as in SCHED_FIFO).
+	Slice(c *Core, t *Thread) sim.Duration
+	// SliceShrinks reports whether a newly enqueued competitor
+	// recomputes the current thread's slice end from the new queue
+	// depth (CFS crowding) rather than leaving the granted quantum
+	// intact (RR).
+	SliceShrinks() bool
+	// ExpirePreempts decides what an expired slice does while
+	// competitors are queued: requeue the thread (true) or renew the
+	// slice in place (false; RR with no equal-or-higher-priority
+	// waiter).
+	ExpirePreempts(c *Core, t *Thread) bool
+	// WakeupPreempts decides whether freshly woken t preempts curr,
+	// both of this class, on c.
+	WakeupPreempts(c *Core, t, curr *Thread) bool
+	// OnWake adjusts t's accounting before wake-up placement (CFS
+	// sleeper placement).
+	OnWake(c *Core, t *Thread)
+	// OnDispatch runs as t becomes current on c.
+	OnDispatch(c *Core, t *Thread)
+	// Charge accounts wall time t consumed on c (vruntime for the
+	// weighted-fair classes).
+	Charge(c *Core, t *Thread, wall sim.Duration)
+	// Stealable reports whether idle stealing and periodic balancing
+	// may migrate this class's queued threads between cores.
+	Stealable() bool
+
+	bind(k *Kernel, slot int)
+	slot() int
+}
+
+// RunQueue is one scheduling class's per-core queue of runnable threads.
+// The class decides the ordering; core dispatch only enqueues, removes,
+// and picks.
+type RunQueue interface {
+	// Len returns the number of queued threads.
+	Len() int
+	// Enqueue adds t.
+	Enqueue(t *Thread)
+	// Dequeue removes a specific queued thread (exit, affinity change,
+	// class change).
+	Dequeue(t *Thread)
+	// Pick removes and returns the next thread to run, or nil.
+	Pick() *Thread
+	// Peek returns the next thread without removing it, or nil.
+	Peek() *Thread
+	// Steal removes and returns a queued thread whose affinity allows
+	// core, or nil (idle stealing and periodic balancing).
+	Steal(core int) *Thread
+}
+
+// ClassBase carries the kernel binding shared by every class
+// implementation. Embed it (by pointer receiver semantics it must be
+// embedded as a value in a type used via pointer) in a class struct.
+type ClassBase struct {
+	kern    *Kernel
+	slotIdx int
+}
+
+func (b *ClassBase) bind(k *Kernel, slot int) { b.kern = k; b.slotIdx = slot }
+func (b *ClassBase) slot() int                { return b.slotIdx }
+
+// Kern returns the owning kernel (nil before the class is bound).
+func (b *ClassBase) Kern() *Kernel { return b.kern }
+
+// ClassCtor builds an unbound class instance; the kernel binds it to
+// itself and a queue slot during construction.
+type ClassCtor func() Class
+
+type classRegistration struct {
+	name string
+	ctor ClassCtor
+}
+
+var classRegistry []classRegistration
+
+// RegisterClass adds a scheduling class constructor under name. Empty or
+// duplicate names panic: class wiring is an init-time programming error.
+// Kernels created afterwards instantiate every registered class.
+func RegisterClass(name string, ctor ClassCtor) {
+	if name == "" {
+		panic("kernel: scheduling class with empty name")
+	}
+	for _, r := range classRegistry {
+		if r.name == name {
+			panic("kernel: duplicate scheduling class " + name)
+		}
+	}
+	classRegistry = append(classRegistry, classRegistration{name, ctor})
+}
+
+// ClassNames returns the registered scheduling-class names in
+// registration order.
+func ClassNames() []string {
+	ns := make([]string, len(classRegistry))
+	for i, r := range classRegistry {
+		ns[i] = r.name
+	}
+	return ns
+}
+
+// newClasses instantiates every registered class for kernel k, ordered by
+// ascending rank (stable on registration order), and binds each to its
+// queue slot.
+func newClasses(k *Kernel) []Class {
+	cs := make([]Class, len(classRegistry))
+	for i, r := range classRegistry {
+		cs[i] = r.ctor()
+		if cs[i].Name() != r.name {
+			panic(fmt.Sprintf("kernel: class registered as %q names itself %q", r.name, cs[i].Name()))
+		}
+	}
+	sort.SliceStable(cs, func(i, j int) bool { return cs[i].Rank() < cs[j].Rank() })
+	for i, cl := range cs {
+		cl.bind(k, i)
+	}
+	return cs
+}
+
+func init() {
+	RegisterClass("fair", func() Class { return &fairClass{} })
+	RegisterClass("rr", func() Class { return &rrClass{} })
+	RegisterClass("fifo", func() Class { return &fifoClass{} })
+	RegisterClass("batch", func() Class { return &batchClass{} })
+}

@@ -1,0 +1,176 @@
+package kernel
+
+import "repro/internal/sim"
+
+// fairClass is the EEVDF/CFS-style weighted fair scheduling class: a
+// min-vruntime heap per core, latency-target slices that shrink as a core
+// gets crowded, sleeper-friendly wake-up placement, and vruntime-gated
+// wake-up preemption. It is the default class for new threads.
+type fairClass struct{ ClassBase }
+
+func (f *fairClass) Name() string       { return "fair" }
+func (f *fairClass) Rank() int          { return rankFair }
+func (f *fairClass) NewQueue() RunQueue { return &fairQueue{} }
+
+// Slice divides the latency target among the core's runnable fair
+// threads, clamped to the minimum granularity (CFS crowding).
+func (f *fairClass) Slice(c *Core, t *Thread) sim.Duration {
+	p := f.kern.Params
+	nr := c.qs[f.slot()].Len() + 1
+	s := p.TargetLatency / sim.Duration(nr)
+	if s < p.MinGranularity {
+		s = p.MinGranularity
+	}
+	return s
+}
+
+func (f *fairClass) SliceShrinks() bool                     { return true }
+func (f *fairClass) ExpirePreempts(c *Core, t *Thread) bool { return true }
+
+// WakeupPreempts lets a waking thread with sufficiently lower vruntime
+// preempt the current one, gated by the minimum and wake-up
+// granularities.
+func (f *fairClass) WakeupPreempts(c *Core, t, curr *Thread) bool {
+	p := f.kern.Params
+	ran := c.now().Sub(curr.dispatchedAt)
+	if ran < p.MinGranularity {
+		return false
+	}
+	currVNow := curr.vruntime + int64(ran)*1024/curr.weight
+	return t.vruntime+int64(p.WakeupGranularity) < currVNow
+}
+
+// OnWake implements CFS-style sleeper placement: a waking thread's
+// vruntime is pulled up to the core's min_vruntime, minus a bonus when
+// the wake ended a genuine sleep.
+func (f *fairClass) OnWake(c *Core, t *Thread) {
+	base := c.minVruntime
+	if t.sleeperWake {
+		base -= int64(f.kern.Params.SleeperBonus)
+	}
+	if t.vruntime < base {
+		t.vruntime = base
+	}
+}
+
+func (f *fairClass) OnDispatch(c *Core, t *Thread) {
+	if t.vruntime > c.minVruntime {
+		c.minVruntime = t.vruntime
+	}
+}
+
+// Charge folds consumed wall time into weighted vruntime.
+func (f *fairClass) Charge(c *Core, t *Thread, wall sim.Duration) {
+	t.vruntime += int64(wall) * 1024 / t.weight
+	if t.vruntime > c.minVruntime {
+		c.minVruntime = t.vruntime
+	}
+}
+
+func (f *fairClass) Stealable() bool { return true }
+
+// fairQueue is a min-heap of fair-class threads ordered by (vruntime,
+// rqSeq). Threads track their heap index so arbitrary removal (steals,
+// affinity changes, exits) stays O(log n).
+type fairQueue struct {
+	ts []*Thread
+}
+
+func (q *fairQueue) Len() int { return len(q.ts) }
+
+func (q *fairQueue) less(i, j int) bool {
+	a, b := q.ts[i], q.ts[j]
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.rqSeq < b.rqSeq
+}
+
+func (q *fairQueue) swap(i, j int) {
+	q.ts[i], q.ts[j] = q.ts[j], q.ts[i]
+	q.ts[i].rqIdx = i
+	q.ts[j].rqIdx = j
+}
+
+func (q *fairQueue) Enqueue(t *Thread) {
+	t.rqIdx = len(q.ts)
+	q.ts = append(q.ts, t)
+	q.up(t.rqIdx)
+}
+
+func (q *fairQueue) Peek() *Thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	return q.ts[0]
+}
+
+func (q *fairQueue) Pick() *Thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	t := q.ts[0]
+	q.removeAt(0)
+	return t
+}
+
+func (q *fairQueue) Dequeue(t *Thread) {
+	if t.rqIdx >= 0 && t.rqIdx < len(q.ts) && q.ts[t.rqIdx] == t {
+		q.removeAt(t.rqIdx)
+	}
+}
+
+// Steal removes and returns the first queued thread (in heap array
+// order) whose affinity allows core, or nil.
+func (q *fairQueue) Steal(core int) *Thread {
+	for _, t := range q.ts {
+		if t != nil && t.affinity.Has(core) {
+			q.Dequeue(t)
+			return t
+		}
+	}
+	return nil
+}
+
+func (q *fairQueue) removeAt(i int) {
+	n := len(q.ts) - 1
+	q.swap(i, n)
+	t := q.ts[n]
+	q.ts[n] = nil
+	q.ts = q.ts[:n]
+	t.rqIdx = -1
+	if i < n {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *fairQueue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q.swap(i, p)
+		i = p
+	}
+}
+
+func (q *fairQueue) down(i int) {
+	n := len(q.ts)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && q.less(l, s) {
+			s = l
+		}
+		if r < n && q.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		q.swap(i, s)
+		i = s
+	}
+}

@@ -1,0 +1,28 @@
+package kernel
+
+import "repro/internal/sim"
+
+// fifoClass is SCHED_FIFO: priority-ordered run-to-block scheduling with
+// no time slice at all. A FIFO thread keeps its core until it blocks,
+// yields, or a higher class wakes — the pathological partner for
+// busy-wait synchronisation under oversubscription, which is exactly why
+// the schedcmp ablation includes it. Unlike RR, queued FIFO threads may
+// be pulled by idle cores (modelling the rt pull balancer), since with no
+// slice expiry a mis-placed thread would otherwise wait out an entire
+// run-to-block episode.
+type fifoClass struct{ ClassBase }
+
+func (f *fifoClass) Name() string       { return "fifo" }
+func (f *fifoClass) Rank() int          { return rankFIFO }
+func (f *fifoClass) NewQueue() RunQueue { return &rtQueue{} }
+
+// Slice is non-positive: FIFO threads run until they block.
+func (f *fifoClass) Slice(c *Core, t *Thread) sim.Duration { return 0 }
+
+func (f *fifoClass) SliceShrinks() bool                           { return false }
+func (f *fifoClass) ExpirePreempts(c *Core, t *Thread) bool       { return false }
+func (f *fifoClass) WakeupPreempts(c *Core, t, curr *Thread) bool { return false }
+func (f *fifoClass) OnWake(c *Core, t *Thread)                    {}
+func (f *fifoClass) OnDispatch(c *Core, t *Thread)                {}
+func (f *fifoClass) Charge(c *Core, t *Thread, wall sim.Duration) {}
+func (f *fifoClass) Stealable() bool                              { return true }

@@ -1,0 +1,80 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestFutexWakeFewerThanWaiters(t *testing.T) {
+	// 5 waiters, Wake(2): exactly the first two (FIFO) wake; the rest
+	// stay queued until a later wake.
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	f := k.NewFutex()
+	f.Word = 1
+	var woken []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.SpawnThread(p, "w", func(th *Thread) {
+			th.Compute(sim.Duration(i+1) * sim.Microsecond) // stagger arrival
+			f.Wait(th, 1, -1)
+			woken = append(woken, i)
+		})
+	}
+	k.SpawnThread(p, "waker", func(th *Thread) {
+		th.Compute(1 * sim.Millisecond)
+		if n := f.Wake(2); n != 2 {
+			t.Errorf("Wake(2) = %d, want 2", n)
+		}
+		if f.Waiters() != 3 {
+			t.Errorf("Waiters = %d after partial wake, want 3", f.Waiters())
+		}
+		th.Compute(1 * sim.Millisecond)
+		// Waking more than remain reports only the real wake count.
+		if n := f.Wake(100); n != 3 {
+			t.Errorf("Wake(100) = %d, want 3", n)
+		}
+	})
+	run(t, eng)
+	if len(woken) != 5 {
+		t.Fatalf("woken = %v, want all 5", woken)
+	}
+	for i := range woken {
+		if woken[i] != i {
+			t.Fatalf("wake order = %v, want FIFO", woken)
+		}
+	}
+	if f.Waiters() != 0 {
+		t.Fatalf("Waiters = %d at end", f.Waiters())
+	}
+}
+
+func TestFutexWakeZeroAndEmpty(t *testing.T) {
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	f := k.NewFutex()
+	if n := f.Wake(3); n != 0 {
+		t.Fatalf("Wake on empty futex = %d, want 0", n)
+	}
+	p := k.NewProcess("app")
+	f.Word = 1
+	waited := false
+	k.SpawnThread(p, "w", func(th *Thread) {
+		f.Wait(th, 1, 2*sim.Millisecond) // timeout backstop
+		waited = true
+	})
+	k.SpawnThread(p, "waker", func(th *Thread) {
+		th.Compute(1 * sim.Millisecond)
+		if n := f.Wake(0); n != 0 {
+			t.Errorf("Wake(0) = %d, want 0", n)
+		}
+		if f.Waiters() != 1 {
+			t.Errorf("Wake(0) disturbed the wait queue")
+		}
+	})
+	run(t, eng)
+	if !waited {
+		t.Fatal("waiter never resumed")
+	}
+}

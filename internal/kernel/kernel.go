@@ -1,8 +1,9 @@
 // Package kernel simulates the Linux process scheduler and the kernel
-// facilities user-space scheduling builds on: an EEVDF-style weighted fair
-// class with slice-based preemption, a SCHED_RR real-time class, wake-up
-// placement, idle stealing and periodic load balancing, futexes, timers,
-// per-thread affinity, and nice priorities.
+// facilities user-space scheduling builds on: pluggable scheduling
+// classes (an EEVDF-style weighted fair class with slice-based
+// preemption, SCHED_RR, SCHED_FIFO, and SCHED_BATCH — see Class),
+// wake-up placement, idle stealing and periodic load balancing, futexes,
+// timers, per-thread affinity, and nice priorities.
 //
 // Simulated threads are sim procs: their Go code runs in zero virtual time
 // and advances the clock only through Thread.Compute and blocking
@@ -53,6 +54,14 @@ type SchedParams struct {
 	// TickInterval is the scheduler tick: the granularity at which a
 	// lazy yield actually switches (Linux: 1 ms at CONFIG_HZ=1000).
 	TickInterval sim.Duration
+	// DefaultClass names the scheduling class new threads start in
+	// ("fair", "rr", "fifo", "batch", or any registered class); empty
+	// selects "fair". This is the knob the schedcmp kernel-scheduler
+	// ablation sweeps.
+	DefaultClass string
+	// BatchSliceMult scales the fair slice for SCHED_BATCH threads
+	// (non-positive selects DefaultBatchSliceMult).
+	BatchSliceMult int
 }
 
 // DefaultSchedParams returns parameters approximating a stock 112-core
@@ -67,6 +76,8 @@ func DefaultSchedParams() SchedParams {
 		BalanceInterval:   4 * sim.Millisecond,
 		YieldImmediate:    false,
 		TickInterval:      1 * sim.Millisecond,
+		DefaultClass:      "fair",
+		BatchSliceMult:    DefaultBatchSliceMult,
 	}
 }
 
@@ -93,7 +104,14 @@ type Kernel struct {
 	HW     hw.Config
 	Params SchedParams
 
-	cores   []*core
+	cores []*Core
+	// classes holds one instance of every registered scheduling class,
+	// in ascending rank order (the core pick order); defaultClass is the
+	// class new threads start in (SchedParams.DefaultClass).
+	classes      []Class
+	classByName  map[string]Class
+	defaultClass Class
+
 	procs   map[Pid]*Process
 	threads map[Tid]*Thread
 	nextPid Pid
@@ -138,14 +156,41 @@ func New(eng *sim.Engine, cfg hw.Config, params SchedParams) *Kernel {
 		threadOfProc: make(map[*sim.Proc]*Thread),
 		Local:        make(map[string]any),
 	}
+	k.classes = newClasses(k)
+	k.classByName = make(map[string]Class, len(k.classes))
+	for _, cl := range k.classes {
+		k.classByName[cl.Name()] = cl
+	}
+	def := params.DefaultClass
+	if def == "" {
+		def = "fair"
+	}
+	cl, ok := k.classByName[def]
+	if !ok {
+		panic(fmt.Sprintf("kernel: unknown scheduling class %q (have %v)", def, ClassNames()))
+	}
+	k.defaultClass = cl
 	n := cfg.Topo.Cores()
-	k.cores = make([]*core, n)
+	k.cores = make([]*Core, n)
 	for i := 0; i < n; i++ {
 		k.cores[i] = newCore(k, i)
 	}
 	k.bw = newBWManager(k)
 	return k
 }
+
+// Classes returns the kernel's scheduling-class instances in ascending
+// rank (pick) order.
+func (k *Kernel) Classes() []Class { return append([]Class(nil), k.classes...) }
+
+// Class returns the kernel's instance of the named scheduling class.
+func (k *Kernel) Class(name string) (Class, bool) {
+	cl, ok := k.classByName[name]
+	return cl, ok
+}
+
+// DefaultClass returns the class new threads start in.
+func (k *Kernel) DefaultClass() Class { return k.defaultClass }
 
 // NumCores returns the number of simulated cores.
 func (k *Kernel) NumCores() int { return len(k.cores) }
@@ -237,7 +282,7 @@ func (k *Kernel) CoreBusy(c int) bool { return k.cores[c].curr != nil }
 // CoreRunnable returns the number of runnable-or-running threads associated
 // with core c.
 func (k *Kernel) CoreRunnable(c int) int {
-	n := k.cores[c].rq.len() + k.cores[c].rt.len()
+	n := k.cores[c].queued()
 	if k.cores[c].curr != nil {
 		n++
 	}
@@ -249,7 +294,7 @@ func (k *Kernel) CoreRunnable(c int) int {
 func (k *Kernel) TotalRunnable() int {
 	n := 0
 	for _, c := range k.cores {
-		n += c.rq.len() + c.rt.len()
+		n += c.queued()
 		if c.curr != nil {
 			n++
 		}

@@ -1,0 +1,133 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+func TestMaskSetClearIdempotent(t *testing.T) {
+	var m Mask
+	m.Set(5)
+	m.Set(5)
+	if m.Count() != 1 {
+		t.Fatalf("double Set: Count = %d, want 1", m.Count())
+	}
+	m.Clear(5)
+	m.Clear(5)
+	if !m.IsEmpty() {
+		t.Fatal("double Clear left the mask non-empty")
+	}
+	// Clearing a core beyond the allocated words must not panic or
+	// allocate.
+	m.Clear(1000)
+	if !m.IsEmpty() {
+		t.Fatal("Clear past the end changed the mask")
+	}
+}
+
+func TestMaskMultiWord(t *testing.T) {
+	// Cores straddling several 64-bit words, including word boundaries.
+	cores := []int{0, 63, 64, 127, 128, 200}
+	m := NewMask(cores...)
+	if m.Count() != len(cores) {
+		t.Fatalf("Count = %d, want %d", m.Count(), len(cores))
+	}
+	got := m.Cores()
+	for i, c := range cores {
+		if got[i] != c {
+			t.Fatalf("Cores = %v, want %v", got, cores)
+		}
+	}
+	for _, c := range []int{1, 62, 65, 129, 199, 201} {
+		if m.Has(c) {
+			t.Fatalf("Has(%d) true for unset core", c)
+		}
+	}
+	if m.String() != "0,63-64,127-128,200" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestMaskEqualAcrossWordLengths(t *testing.T) {
+	// Masks representing the same cores with different backing-array
+	// lengths (one grew to word 3 and shrank back via Clear) compare
+	// equal.
+	a := NewMask(1, 2)
+	b := NewMask(1, 2, 200)
+	if a.Equal(b) {
+		t.Fatal("distinct masks compare equal")
+	}
+	b.Clear(200)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("equal masks with different word counts compare unequal")
+	}
+	var empty Mask
+	long := NewMask(300)
+	long.Clear(300)
+	if !empty.Equal(long) || !long.Equal(empty) {
+		t.Fatal("empty masks with different word counts compare unequal")
+	}
+}
+
+func TestMaskCloneIndependent(t *testing.T) {
+	a := NewMask(1, 2, 3)
+	b := a.Clone()
+	b.Clear(2)
+	b.Set(9)
+	if !a.Has(2) || a.Has(9) {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+func TestMaskIntersectionViaHas(t *testing.T) {
+	// The scheduler's effective intersection of affinity and core set is
+	// Has per core; an empty mask intersects as the full set.
+	a := NewMask(0, 2, 4, 6)
+	b := NewMask(2, 3, 4)
+	var got []int
+	for c := 0; c < 8; c++ {
+		if a.Has(c) && b.Has(c) {
+			got = append(got, c)
+		}
+	}
+	want := []int{2, 4}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+	var empty Mask
+	n := 0
+	for c := 0; c < 8; c++ {
+		if empty.Has(c) && a.Has(c) {
+			n++
+		}
+	}
+	if n != a.Count() {
+		t.Fatal("empty mask must intersect as the full set")
+	}
+}
+
+func TestEmptyMaskAffinityRunsAnywhere(t *testing.T) {
+	// A thread with an empty (unrestricted) affinity mask schedules on
+	// any core: 8 such threads on 8 cores run perfectly in parallel.
+	eng, k := testKernel(t, hw.SmallNode(), false)
+	p := k.NewProcess("app")
+	var latest sim.Time
+	for i := 0; i < 8; i++ {
+		k.SpawnThread(p, "w", func(th *Thread) {
+			th.SetAffinity(Mask{})
+			if th.Affinity().Count() != 0 {
+				t.Error("empty affinity mask not preserved")
+			}
+			th.Compute(5 * sim.Millisecond)
+			if eng.Now() > latest {
+				latest = eng.Now()
+			}
+		})
+	}
+	run(t, eng)
+	if latest != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("makespan %v, want 5ms (empty mask must allow all cores)", latest)
+	}
+}

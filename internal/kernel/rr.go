@@ -1,0 +1,109 @@
+package kernel
+
+import "repro/internal/sim"
+
+// Class ranks. Cores pick from queues in ascending rank order, and a
+// waking thread of a lower-ranked class preempts a current thread of a
+// higher-ranked one (the Linux class hierarchy: rt above fair above
+// batch).
+//
+// Simplification vs Linux: SCHED_RR and SCHED_FIFO really share one
+// priority-ordered rt runqueue, so rtPrio orders threads across the two
+// policies. Here each class owns its queue and RR ranks above FIFO
+// regardless of rtPrio — adequate for the single-policy schedcmp
+// ablations, wrong for workloads mixing high-priority FIFO with
+// low-priority RR on one core.
+const (
+	rankRR    = 10
+	rankFIFO  = 15
+	rankFair  = 20
+	rankBatch = 30
+)
+
+// rrClass is SCHED_RR: priority-ordered real-time threads that
+// round-robin on a fixed quantum within a priority level. It preempts
+// every lower class on wake-up and is exempt from load balancing (the
+// kernel's CFS balancer never migrates rt threads).
+type rrClass struct{ ClassBase }
+
+func (r *rrClass) Name() string       { return "rr" }
+func (r *rrClass) Rank() int          { return rankRR }
+func (r *rrClass) NewQueue() RunQueue { return &rtQueue{} }
+
+func (r *rrClass) Slice(c *Core, t *Thread) sim.Duration { return r.kern.Params.RRQuantum }
+
+// SliceShrinks is false: an RR thread keeps its granted quantum no
+// matter who arrives mid-slice.
+func (r *rrClass) SliceShrinks() bool { return false }
+
+// ExpirePreempts round-robins only among equal-or-higher priority
+// waiters; otherwise the quantum is renewed in place.
+func (r *rrClass) ExpirePreempts(c *Core, t *Thread) bool {
+	head := c.qs[r.slot()].Peek()
+	return head != nil && head.rtPrio >= t.rtPrio
+}
+
+func (r *rrClass) WakeupPreempts(c *Core, t, curr *Thread) bool { return false }
+func (r *rrClass) OnWake(c *Core, t *Thread)                    {}
+func (r *rrClass) OnDispatch(c *Core, t *Thread)                {}
+func (r *rrClass) Charge(c *Core, t *Thread, wall sim.Duration) {}
+func (r *rrClass) Stealable() bool                              { return false }
+
+// rtQueue holds real-time threads, highest priority first, FIFO within a
+// priority level. Shared by the RR and FIFO classes (each core holds an
+// independent instance per class).
+type rtQueue struct {
+	ts []*Thread
+}
+
+func (q *rtQueue) Len() int { return len(q.ts) }
+
+func (q *rtQueue) Enqueue(t *Thread) {
+	// Insert after the last thread with priority >= t's.
+	i := len(q.ts)
+	for i > 0 && q.ts[i-1].rtPrio < t.rtPrio {
+		i--
+	}
+	q.ts = append(q.ts, nil)
+	copy(q.ts[i+1:], q.ts[i:])
+	q.ts[i] = t
+}
+
+func (q *rtQueue) Peek() *Thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	return q.ts[0]
+}
+
+func (q *rtQueue) Pick() *Thread {
+	if len(q.ts) == 0 {
+		return nil
+	}
+	t := q.ts[0]
+	copy(q.ts, q.ts[1:])
+	q.ts = q.ts[:len(q.ts)-1]
+	return t
+}
+
+func (q *rtQueue) Dequeue(t *Thread) {
+	for i, x := range q.ts {
+		if x == t {
+			copy(q.ts[i:], q.ts[i+1:])
+			q.ts = q.ts[:len(q.ts)-1]
+			return
+		}
+	}
+}
+
+// Steal removes and returns the highest-priority queued thread whose
+// affinity allows core, or nil.
+func (q *rtQueue) Steal(core int) *Thread {
+	for _, t := range q.ts {
+		if t != nil && t.affinity.Has(core) {
+			q.Dequeue(t)
+			return t
+		}
+	}
+	return nil
+}

@@ -7,147 +7,16 @@ import (
 	"repro/internal/trace"
 )
 
-// fairQueue is a min-heap of fair-class threads ordered by (vruntime,
-// rqSeq). Threads track their heap index so arbitrary removal (steals,
-// affinity changes, exits) stays O(log n).
-type fairQueue struct {
-	ts []*Thread
-}
-
-func (q *fairQueue) len() int { return len(q.ts) }
-
-func (q *fairQueue) less(i, j int) bool {
-	a, b := q.ts[i], q.ts[j]
-	if a.vruntime != b.vruntime {
-		return a.vruntime < b.vruntime
-	}
-	return a.rqSeq < b.rqSeq
-}
-
-func (q *fairQueue) swap(i, j int) {
-	q.ts[i], q.ts[j] = q.ts[j], q.ts[i]
-	q.ts[i].rqIdx = i
-	q.ts[j].rqIdx = j
-}
-
-func (q *fairQueue) push(t *Thread) {
-	t.rqIdx = len(q.ts)
-	q.ts = append(q.ts, t)
-	q.up(t.rqIdx)
-}
-
-func (q *fairQueue) peek() *Thread {
-	if len(q.ts) == 0 {
-		return nil
-	}
-	return q.ts[0]
-}
-
-func (q *fairQueue) pop() *Thread {
-	if len(q.ts) == 0 {
-		return nil
-	}
-	t := q.ts[0]
-	q.removeAt(0)
-	return t
-}
-
-func (q *fairQueue) remove(t *Thread) {
-	if t.rqIdx >= 0 && t.rqIdx < len(q.ts) && q.ts[t.rqIdx] == t {
-		q.removeAt(t.rqIdx)
-	}
-}
-
-func (q *fairQueue) removeAt(i int) {
-	n := len(q.ts) - 1
-	q.swap(i, n)
-	t := q.ts[n]
-	q.ts[n] = nil
-	q.ts = q.ts[:n]
-	t.rqIdx = -1
-	if i < n {
-		q.down(i)
-		q.up(i)
-	}
-}
-
-func (q *fairQueue) up(i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if !q.less(i, p) {
-			break
-		}
-		q.swap(i, p)
-		i = p
-	}
-}
-
-func (q *fairQueue) down(i int) {
-	n := len(q.ts)
-	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < n && q.less(l, s) {
-			s = l
-		}
-		if r < n && q.less(r, s) {
-			s = r
-		}
-		if s == i {
-			return
-		}
-		q.swap(i, s)
-		i = s
-	}
-}
-
-// rtQueue holds SCHED_RR threads, highest priority first, FIFO within a
-// priority level.
-type rtQueue struct {
-	ts []*Thread
-}
-
-func (q *rtQueue) len() int { return len(q.ts) }
-
-func (q *rtQueue) push(t *Thread) {
-	// Insert after the last thread with priority >= t's.
-	i := len(q.ts)
-	for i > 0 && q.ts[i-1].rtPrio < t.rtPrio {
-		i--
-	}
-	q.ts = append(q.ts, nil)
-	copy(q.ts[i+1:], q.ts[i:])
-	q.ts[i] = t
-}
-
-func (q *rtQueue) pop() *Thread {
-	if len(q.ts) == 0 {
-		return nil
-	}
-	t := q.ts[0]
-	copy(q.ts, q.ts[1:])
-	q.ts = q.ts[:len(q.ts)-1]
-	return t
-}
-
-func (q *rtQueue) remove(t *Thread) {
-	for i, x := range q.ts {
-		if x == t {
-			copy(q.ts[i:], q.ts[i+1:])
-			q.ts = q.ts[:len(q.ts)-1]
-			return
-		}
-	}
-}
-
-// core is one simulated CPU.
-type core struct {
+// Core is one simulated CPU. Dispatch, preemption, stealing, and
+// balancing here are scheduling-class-agnostic: every class-specific
+// decision is delegated to the Class interface, and each class owns one
+// RunQueue per core (qs is indexed by class slot, ascending rank).
+type Core struct {
 	k  *Kernel
 	id int
 
 	curr *Thread
-	rq   fairQueue
-	rt   rtQueue
+	qs   []RunQueue
 
 	minVruntime int64
 	sliceEnd    sim.Time
@@ -161,63 +30,105 @@ type core struct {
 	busyAccum sim.Duration
 }
 
-func newCore(k *Kernel, id int) *core {
-	return &core{k: k, id: id, isIdle: true}
-}
-
-func (c *core) now() sim.Time { return c.k.Eng.Now() }
-
-func (c *core) hasCompetitor(t *Thread) bool {
-	return c.rq.len() > 0 || c.rt.len() > 0
-}
-
-// slice returns the fair-class time slice for the current load.
-func (c *core) slice(t *Thread) sim.Duration {
-	if t.class == ClassRR {
-		return c.k.Params.RRQuantum
+func newCore(k *Kernel, id int) *Core {
+	c := &Core{k: k, id: id, isIdle: true}
+	c.qs = make([]RunQueue, len(k.classes))
+	for i, cl := range k.classes {
+		c.qs[i] = cl.NewQueue()
 	}
-	nr := c.rq.len() + 1
-	s := c.k.Params.TargetLatency / sim.Duration(nr)
-	if s < c.k.Params.MinGranularity {
-		s = c.k.Params.MinGranularity
-	}
-	return s
+	return c
 }
 
-// enqueue puts a runnable thread on this core's queue and arms preemption
-// machinery as needed.
-func (c *core) enqueue(t *Thread) {
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Kernel returns the owning kernel.
+func (c *Core) Kernel() *Kernel { return c.k }
+
+// Current returns the thread currently running on the core, or nil.
+func (c *Core) Current() *Thread { return c.curr }
+
+// Queue returns the core's runqueue for the given class.
+func (c *Core) Queue(cl Class) RunQueue { return c.qs[cl.slot()] }
+
+// MinVruntime returns the core's fair-clock floor (shared by the
+// weighted-fair classes).
+func (c *Core) MinVruntime() int64 { return c.minVruntime }
+
+func (c *Core) now() sim.Time { return c.k.Eng.Now() }
+
+// queued returns the number of threads waiting across all class queues.
+func (c *Core) queued() int {
+	n := 0
+	for _, q := range c.qs {
+		n += q.Len()
+	}
+	return n
+}
+
+// stealableQueued returns the number of queued threads that load
+// balancing may migrate.
+func (c *Core) stealableQueued() int {
+	n := 0
+	for i, q := range c.qs {
+		if c.k.classes[i].Stealable() {
+			n += q.Len()
+		}
+	}
+	return n
+}
+
+// hasCompetitor reports whether any queued thread could actually
+// displace t at a pick: threads in classes ranked at or above t's
+// (cores pick in ascending rank order, so a lower-ranked queue never
+// wins while t's class has work). Without the rank filter a fair thread
+// with only batch threads queued would self-preempt every slice —
+// burning timer IRQs and inflating the preemption counters — only to be
+// re-picked immediately.
+func (c *Core) hasCompetitor(t *Thread) bool {
+	rank := t.class.Rank()
+	for i, q := range c.qs {
+		if c.k.classes[i].Rank() <= rank && q.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue puts a runnable thread on its class's queue on this core and
+// arms preemption machinery as needed.
+func (c *Core) enqueue(t *Thread) {
 	t.state = ThreadRunnable
 	t.queuedOn = c.id
 	c.k.rrSeq++
 	t.rqSeq = c.k.rrSeq
-	if t.class == ClassRR {
-		c.rt.push(t)
-	} else {
-		c.rq.push(t)
-	}
+	c.qs[t.class.slot()].Enqueue(t)
 	c.armPreempt()
 }
 
 // removeQueued pulls a runnable thread out of its queue (exit, affinity
 // change, steal).
-func (c *core) removeQueued(t *Thread) {
-	if t.class == ClassRR {
-		c.rt.remove(t)
-	} else {
-		c.rq.remove(t)
-	}
+func (c *Core) removeQueued(t *Thread) {
+	c.qs[t.class.slot()].Dequeue(t)
 }
 
 // armPreempt ensures a slice-expiry timer is pending while the current
-// thread has competitors. The slice is recomputed from the present queue
-// depth, so a thread's slice shrinks as a core gets crowded (as in CFS).
-func (c *core) armPreempt() {
+// thread has competitors and its class time-slices at all. Classes whose
+// slice shrinks with queue depth (fair) recompute the expiry from the
+// present crowd; quantum classes (RR) keep the granted slice end.
+func (c *Core) armPreempt() {
 	t := c.curr
 	if t == nil || !c.hasCompetitor(t) {
 		return
 	}
-	end := t.dispatchedAt + sim.Time(c.slice(t))
+	s := t.class.Slice(c, t)
+	if s <= 0 {
+		return // run-to-block class: no slice preemption
+	}
+	end := c.sliceEnd
+	if t.class.SliceShrinks() || end < t.dispatchedAt {
+		end = t.dispatchedAt + sim.Time(s)
+	}
 	if end < c.now() {
 		end = c.now()
 	}
@@ -231,7 +142,7 @@ func (c *core) armPreempt() {
 	c.preemptEv = c.k.Eng.At(end, c.onPreemptTimer)
 }
 
-func (c *core) onPreemptTimer() {
+func (c *Core) onPreemptTimer() {
 	c.preemptEv = nil
 	t := c.curr
 	if t == nil || !c.hasCompetitor(t) {
@@ -241,14 +152,12 @@ func (c *core) onPreemptTimer() {
 		c.armPreempt()
 		return
 	}
-	// RT threads only round-robin among equal-or-higher priority.
-	if t.class == ClassRR {
-		next := c.rt.len() > 0 && c.rt.ts[0].rtPrio >= t.rtPrio
-		if !next {
-			c.sliceEnd = c.now() + sim.Time(c.k.Params.RRQuantum)
-			c.armPreempt()
-			return
-		}
+	if !t.class.ExpirePreempts(c, t) {
+		// Renew the slice in place (RR with no equal-or-higher
+		// priority waiter).
+		c.sliceEnd = c.now() + sim.Time(t.class.Slice(c, t))
+		c.armPreempt()
+		return
 	}
 	if t.seg == nil || !t.seg.running {
 		// The thread sits at a zero-time call boundary; make it
@@ -265,7 +174,7 @@ func (c *core) onPreemptTimer() {
 
 // preemptCurrent forcibly removes the current thread (event context) and
 // requeues it according to its affinity.
-func (c *core) preemptCurrent(reason string) {
+func (c *Core) preemptCurrent(reason string) {
 	t := c.curr
 	if t == nil {
 		return
@@ -283,7 +192,7 @@ func (c *core) preemptCurrent(reason string) {
 // preemptCurrentVoluntary is the self-initiated variant (yield, expired
 // slice honoured at a Compute boundary, affinity move). The caller must
 // park the proc afterwards.
-func (c *core) preemptCurrentVoluntary(reason string) {
+func (c *Core) preemptCurrentVoluntary(reason string) {
 	t := c.curr
 	if t == nil {
 		return
@@ -297,9 +206,24 @@ func (c *core) preemptCurrentVoluntary(reason string) {
 	c.scheduleNext()
 }
 
+// kickCurrent preempts the current thread at the next safe point: right
+// away when it is inside a compute segment, else at its next scheduling
+// point (wake-up preemption).
+func (c *Core) kickCurrent(reason string) {
+	curr := c.curr
+	if curr == nil {
+		return
+	}
+	if curr.seg != nil && curr.seg.running {
+		c.preemptCurrent(reason)
+	} else {
+		curr.needResched = true
+	}
+}
+
 // stopCurrent detaches the current thread, folding segment progress and
-// vruntime accounting. The thread is left in Runnable state with no queue.
-func (c *core) stopCurrent() {
+// runtime accounting. The thread is left in Runnable state with no queue.
+func (c *Core) stopCurrent() {
 	t := c.curr
 	now := c.now()
 	if t.seg != nil && t.seg.running {
@@ -324,54 +248,45 @@ func (c *core) stopCurrent() {
 
 // undispatch is stopCurrent for threads leaving the runnable set (block,
 // exit).
-func (c *core) undispatch(t *Thread) {
+func (c *Core) undispatch(t *Thread) {
 	c.stopCurrent()
 }
 
-// accountOff charges wall time to vruntime and usage counters.
-func (c *core) accountOff(t *Thread) {
+// accountOff charges wall time to the class's runtime accounting and the
+// usage counters.
+func (c *Core) accountOff(t *Thread) {
 	now := c.now()
 	wall := now.Sub(t.dispatchedAt)
 	if wall > 0 {
 		t.CPUTime += wall
 		c.busyAccum += wall
-		if t.class == ClassFair {
-			t.vruntime += int64(wall) * 1024 / t.weight
-			if t.vruntime > c.minVruntime {
-				c.minVruntime = t.vruntime
-			}
-		}
+		t.class.Charge(c, t, wall)
 	}
 	t.lastCore = c.id
 	c.lastTid = t.TID
 	c.k.trace(trace.KindRunEnd, c.id, t)
 }
 
-// popNext removes and returns the core's next queued thread (RT first,
-// then fair min-vruntime), or nil. Used by the yield path to implement
-// skip-buddy picking.
-func (c *core) popNext() *Thread {
-	if c.rt.len() > 0 {
-		return c.rt.pop()
-	}
-	if c.rq.len() > 0 {
-		return c.rq.pop()
+// popNext removes and returns the core's next queued thread, scanning
+// class queues in rank order, or nil. Used by the yield path to
+// implement skip-buddy picking.
+func (c *Core) popNext() *Thread {
+	for _, q := range c.qs {
+		if t := q.Pick(); t != nil {
+			return t
+		}
 	}
 	return nil
 }
 
-// scheduleNext picks and dispatches the next thread for this core, stealing
-// from a loaded peer when the local queues are empty.
-func (c *core) scheduleNext() {
+// scheduleNext picks and dispatches the next thread for this core,
+// stealing from a loaded peer when the local queues are empty.
+func (c *Core) scheduleNext() {
 	if c.curr != nil {
 		return
 	}
-	var next *Thread
-	if c.rt.len() > 0 {
-		next = c.rt.pop()
-	} else if c.rq.len() > 0 {
-		next = c.rq.pop()
-	} else {
+	next := c.popNext()
+	if next == nil {
 		next = c.k.stealFor(c)
 	}
 	if next == nil {
@@ -383,7 +298,7 @@ func (c *core) scheduleNext() {
 }
 
 // dispatch makes t current on this core.
-func (c *core) dispatch(t *Thread) {
+func (c *Core) dispatch(t *Thread) {
 	if c.curr != nil {
 		panic(fmt.Sprintf("kernel: dispatch on busy core %d", c.id))
 	}
@@ -430,10 +345,12 @@ func (c *core) dispatch(t *Thread) {
 	t.curCore = c.id
 	t.queuedOn = -1
 	t.dispatchedAt = now
-	c.sliceEnd = now + sim.Time(c.slice(t))
-	if t.class == ClassFair && t.vruntime > c.minVruntime {
-		c.minVruntime = t.vruntime
+	if s := t.class.Slice(c, t); s > 0 {
+		c.sliceEnd = now + sim.Time(s)
+	} else {
+		c.sliceEnd = now
 	}
+	t.class.OnDispatch(c, t)
 	c.armPreempt()
 	k.trace(trace.KindRunStart, c.id, t)
 
@@ -447,7 +364,7 @@ func (c *core) dispatch(t *Thread) {
 }
 
 // startSegment begins (or resumes) the current thread's compute segment.
-func (c *core) startSegment(t *Thread) {
+func (c *Core) startSegment(t *Thread) {
 	seg := t.seg
 	seg.running = true
 	seg.lastUpdate = c.now()
@@ -456,7 +373,7 @@ func (c *core) startSegment(t *Thread) {
 
 // onSegmentEnd completes the current compute request and resumes the
 // thread's code.
-func (c *core) onSegmentEnd(t *Thread) {
+func (c *Core) onSegmentEnd(t *Thread) {
 	if t.seg == nil || c.curr != t {
 		return
 	}
@@ -497,10 +414,11 @@ func (k *Kernel) trace(kind trace.Kind, core int, t *Thread) {
 		Core:   core,
 		Thread: t.Name,
 		TID:    int(t.TID),
+		Class:  t.class.Name(),
 	})
 }
 
-// wake makes a blocked thread runnable, with CFS-style sleeper placement.
+// wake makes a blocked thread runnable, with class-specific placement.
 func (k *Kernel) wake(t *Thread, sleeper bool) {
 	if t.state != ThreadBlocked {
 		return
@@ -515,17 +433,9 @@ func (k *Kernel) wake(t *Thread, sleeper bool) {
 // (idle core) or enqueues it (possibly preempting the current thread).
 func (k *Kernel) wakePlace(t *Thread) {
 	c := k.selectCore(t)
-	if t.class == ClassFair {
-		base := c.minVruntime
-		if t.sleeperWake {
-			base -= int64(k.Params.SleeperBonus)
-		}
-		if t.vruntime < base {
-			t.vruntime = base
-		}
-		t.sleeperWake = false
-	}
-	if c.curr == nil && c.rt.len() == 0 && c.rq.len() == 0 {
+	t.class.OnWake(c, t)
+	t.sleeperWake = false
+	if c.curr == nil && c.queued() == 0 {
 		t.state = ThreadRunnable
 		c.dispatch(t)
 		return
@@ -534,45 +444,28 @@ func (k *Kernel) wakePlace(t *Thread) {
 	k.maybeWakeupPreempt(c, t)
 }
 
-// maybeWakeupPreempt applies wake-up preemption rules.
-func (k *Kernel) maybeWakeupPreempt(c *core, t *Thread) {
+// maybeWakeupPreempt applies wake-up preemption rules: a lower-ranked
+// (higher) class always preempts, and within a class the class decides.
+func (k *Kernel) maybeWakeupPreempt(c *Core, t *Thread) {
 	curr := c.curr
 	if curr == nil {
 		c.scheduleNext()
 		return
 	}
-	now := k.Eng.Now()
-	if t.class == ClassRR && curr.class == ClassFair {
-		if curr.seg != nil && curr.seg.running {
-			c.preemptCurrent("rt-wakeup")
-		} else {
-			curr.needResched = true
-		}
-		return
-	}
-	if t.class != ClassFair || curr.class != ClassFair {
-		return
-	}
-	ran := now.Sub(curr.dispatchedAt)
-	if ran < k.Params.MinGranularity {
-		return
-	}
-	currVNow := curr.vruntime + int64(ran)*1024/curr.weight
-	if t.vruntime+int64(k.Params.WakeupGranularity) < currVNow {
-		if curr.seg != nil && curr.seg.running {
-			c.preemptCurrent("wakeup")
-		} else {
-			curr.needResched = true
-		}
+	switch {
+	case t.class.Rank() < curr.class.Rank():
+		c.kickCurrent("class-wakeup")
+	case t.class == curr.class && t.class.WakeupPreempts(c, t, curr):
+		c.kickCurrent("wakeup")
 	}
 }
 
 // selectCore implements wake-up placement: last core if idle, then an idle
 // core in the same NUMA node, then any idle core, then the least loaded
 // core, always respecting affinity.
-func (k *Kernel) selectCore(t *Thread) *core {
+func (k *Kernel) selectCore(t *Thread) *Core {
 	topo := k.HW.Topo
-	idle := func(c *core) bool { return c.curr == nil && c.rq.len() == 0 && c.rt.len() == 0 }
+	idle := func(c *Core) bool { return c.curr == nil && c.queued() == 0 }
 
 	if t.lastCore >= 0 && t.affinity.Has(t.lastCore) && idle(k.cores[t.lastCore]) {
 		return k.cores[t.lastCore]
@@ -584,7 +477,7 @@ func (k *Kernel) selectCore(t *Thread) *core {
 			}
 		}
 	}
-	var best *core
+	var best *Core
 	bestLoad := 1 << 30
 	for _, c := range k.cores {
 		if !t.affinity.Has(c.id) {
@@ -593,7 +486,7 @@ func (k *Kernel) selectCore(t *Thread) *core {
 		if idle(c) {
 			return c
 		}
-		load := c.rq.len() + c.rt.len()
+		load := c.queued()
 		if c.curr != nil {
 			load++
 		}
@@ -608,16 +501,16 @@ func (k *Kernel) selectCore(t *Thread) *core {
 	return best
 }
 
-// stealFor pulls a runnable fair thread from the most loaded core whose
-// queued work may run on c (idle balancing).
-func (k *Kernel) stealFor(c *core) *Thread {
-	var busiest *core
-	load := 0 // any queued (non-running) thread is worth pulling
+// stealFor pulls a runnable thread of a stealable class from the most
+// loaded core whose queued work may run on c (idle balancing).
+func (k *Kernel) stealFor(c *Core) *Thread {
+	var busiest *Core
+	load := 0 // any queued (non-running) stealable thread is worth pulling
 	for _, o := range k.cores {
 		if o == c {
 			continue
 		}
-		l := o.rq.len()
+		l := o.stealableQueued()
 		if l > load {
 			load = l
 			busiest = o
@@ -626,9 +519,11 @@ func (k *Kernel) stealFor(c *core) *Thread {
 	if busiest == nil {
 		return nil
 	}
-	for _, t := range busiest.rq.ts {
-		if t != nil && t.affinity.Has(c.id) {
-			busiest.rq.remove(t)
+	for i, q := range busiest.qs {
+		if !k.classes[i].Stealable() {
+			continue
+		}
+		if t := q.Steal(c.id); t != nil {
 			k.Stats.Steals++
 			return t
 		}
@@ -646,8 +541,9 @@ func (k *Kernel) armBalance() {
 	k.balanceEv = k.Eng.After(k.Params.BalanceInterval, k.periodicBalance)
 }
 
-// periodicBalance is the simplified periodic load balancer: it moves queued
-// fair threads from the most to the least loaded cores.
+// periodicBalance is the simplified periodic load balancer: it moves
+// queued threads of stealable classes from the most to the least loaded
+// cores.
 func (k *Kernel) periodicBalance() {
 	k.balanceEv = nil
 	if k.TotalRunnable() > 0 {
@@ -655,10 +551,10 @@ func (k *Kernel) periodicBalance() {
 	}
 	const maxMoves = 8
 	for move := 0; move < maxMoves; move++ {
-		var src, dst *core
+		var src, dst *Core
 		srcLoad, dstLoad := -1, 1<<30
 		for _, c := range k.cores {
-			l := c.rq.len()
+			l := c.stealableQueued()
 			if c.curr != nil {
 				l++
 			}
@@ -671,12 +567,15 @@ func (k *Kernel) periodicBalance() {
 				dst = c
 			}
 		}
-		if src == nil || dst == nil || srcLoad-dstLoad <= 1 || src.rq.len() == 0 {
+		if src == nil || dst == nil || srcLoad-dstLoad <= 1 || src.stealableQueued() == 0 {
 			return
 		}
 		var victim *Thread
-		for _, t := range src.rq.ts {
-			if t != nil && t.affinity.Has(dst.id) {
+		for i, q := range src.qs {
+			if !k.classes[i].Stealable() {
+				continue
+			}
+			if t := q.Steal(dst.id); t != nil {
 				victim = t
 				break
 			}
@@ -684,9 +583,8 @@ func (k *Kernel) periodicBalance() {
 		if victim == nil {
 			return
 		}
-		src.rq.remove(victim)
 		k.Stats.BalanceMoves++
-		if dst.curr == nil && dst.rq.len() == 0 && dst.rt.len() == 0 {
+		if dst.curr == nil && dst.queued() == 0 {
 			dst.dispatch(victim)
 		} else {
 			dst.enqueue(victim)

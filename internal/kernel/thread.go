@@ -31,16 +31,6 @@ func (s ThreadState) String() string {
 	return "unknown"
 }
 
-// SchedClass selects the scheduling class of a thread.
-type SchedClass int
-
-// Scheduling classes. ClassRR preempts ClassFair unconditionally, mirroring
-// the Linux class hierarchy.
-const (
-	ClassFair SchedClass = iota
-	ClassRR
-)
-
 // niceToWeight is the Linux sched_prio_to_weight table for nice -20..19.
 var niceToWeight = [40]int64{
 	88761, 71755, 56483, 46273, 36291,
@@ -106,7 +96,7 @@ type Thread struct {
 	proc *sim.Proc
 
 	state    ThreadState
-	class    SchedClass
+	class    Class
 	rtPrio   int
 	nice     int
 	weight   int64
@@ -162,6 +152,18 @@ func (t *Thread) CurrentCore() int {
 // Affinity returns a copy of the thread's affinity mask.
 func (t *Thread) Affinity() Mask { return t.affinity.Clone() }
 
+// Class returns the thread's scheduling class.
+func (t *Thread) Class() Class { return t.class }
+
+// ClassName returns the name of the thread's scheduling class.
+func (t *Thread) ClassName() string { return t.class.Name() }
+
+// Weight returns the thread's fair-class weight (derived from nice).
+func (t *Thread) Weight() int64 { return t.weight }
+
+// RTPrio returns the thread's real-time priority (RR/FIFO; higher wins).
+func (t *Thread) RTPrio() int { return t.rtPrio }
+
 // SpawnThread creates a runnable thread in process p executing fn. The
 // thread inherits the process default affinity and nice value. It may be
 // called from event context or from another thread's code.
@@ -173,6 +175,7 @@ func (k *Kernel) SpawnThread(p *Process, name string, fn func(t *Thread)) *Threa
 		Proc:     p,
 		kern:     k,
 		state:    ThreadBlocked, // becomes runnable via wake below
+		class:    k.defaultClass,
 		nice:     p.DefaultNice,
 		weight:   weightOf(p.DefaultNice),
 		affinity: p.DefaultAffinity.Clone(),
@@ -366,13 +369,55 @@ func (t *Thread) SetNice(nice int) {
 // (higher wins). In the real system this needs privileges; the simulation
 // exposes it to model the comparison in §3 of the paper.
 func (t *Thread) SetRR(prio int) {
-	t.class = ClassRR
 	t.rtPrio = prio
+	t.mustSetClass("rr")
+}
+
+// SetFIFO moves the thread to the SCHED_FIFO class at the given priority
+// (higher wins).
+func (t *Thread) SetFIFO(prio int) {
+	t.rtPrio = prio
+	t.mustSetClass("fifo")
 }
 
 // SetFair returns the thread to the fair class.
-func (t *Thread) SetFair() {
-	t.class = ClassFair
+func (t *Thread) SetFair() { t.mustSetClass("fair") }
+
+// SetBatch moves the thread to the SCHED_BATCH class.
+func (t *Thread) SetBatch() { t.mustSetClass("batch") }
+
+// SetClass moves the thread to the named scheduling class. A queued
+// thread is moved between its old and new class's runqueues; a running
+// thread keeps its core until its next scheduling point.
+func (t *Thread) SetClass(name string) error {
+	cl, ok := t.kern.classByName[name]
+	if !ok {
+		return fmt.Errorf("kernel: unknown scheduling class %q (have %v)", name, ClassNames())
+	}
+	t.setClass(cl)
+	return nil
+}
+
+func (t *Thread) mustSetClass(name string) {
+	if err := t.SetClass(name); err != nil {
+		panic(err)
+	}
+}
+
+func (t *Thread) setClass(cl Class) {
+	if t.class == cl {
+		return
+	}
+	if t.state == ThreadRunnable && t.queuedOn >= 0 {
+		// Requeue under the new class so dequeue/pick consult the
+		// right runqueue.
+		c := t.kern.cores[t.queuedOn]
+		c.removeQueued(t)
+		t.class = cl
+		c.enqueue(t)
+		return
+	}
+	t.class = cl
 }
 
 // Kill forcibly terminates a thread that is not currently executing (the

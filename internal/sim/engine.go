@@ -65,15 +65,18 @@ func (e *Engine) Live() int { return e.live }
 // Pending reports the number of queued (possibly cancelled) events.
 func (e *Engine) Pending() int { return e.heap.len() }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run return after the current event completes. The request
+// is sticky until a Run call consumes it: a Stop issued while no Run is
+// in progress (including before the first Run) makes the next Run return
+// immediately, at its current time, without processing any events.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run processes events until the queue drains, the horizon passes, or Stop
 // is called. It returns the time at which processing stopped and an error
 // if the simulated system deadlocked (no events left but live procs
-// remain parked).
+// remain parked). A Run cut short by Stop consumes the stop request;
+// calling Run again resumes event processing.
 func (e *Engine) Run(until Time) (Time, error) {
-	e.stopped = false
 	for !e.stopped && e.heap.len() > 0 {
 		ev := e.heap.pop()
 		if ev.canceled {
@@ -92,6 +95,7 @@ func (e *Engine) Run(until Time) (Time, error) {
 		}
 	}
 	if e.stopped {
+		e.stopped = false
 		return e.now, nil
 	}
 	if e.live > 0 {

@@ -321,3 +321,54 @@ func TestStopHaltsRun(t *testing.T) {
 		t.Fatalf("count = %d, want 2", count)
 	}
 }
+
+func TestStopBeforeRunIsNotLost(t *testing.T) {
+	// Regression: Run used to reset the stop flag unconditionally, so a
+	// Stop issued between (or before) Run calls was silently discarded.
+	e := NewEngine(1)
+	count := 0
+	e.At(1, func() { count++ })
+	e.Stop()
+	if end, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	} else if end != 0 {
+		t.Fatalf("stopped Run advanced the clock to %v", end)
+	}
+	if count != 0 {
+		t.Fatalf("count = %d: pre-Run Stop processed events", count)
+	}
+	// The stop request is consumed by exactly one Run: the next call
+	// processes events normally.
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 after resumed Run", count)
+	}
+}
+
+func TestStopBetweenRunsIsNotLost(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(1, func() { count++ })
+	e.At(10, func() { count++ })
+	if _, err := e.Run(5); err != nil { // horizon return, no stop involved
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 after horizon run", count)
+	}
+	e.Stop()
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d: between-Runs Stop was lost", count)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}

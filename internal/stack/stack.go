@@ -76,6 +76,18 @@ func NewWithParams(machine hw.Config, seed uint64, params kernel.SchedParams) *S
 	return &System{Eng: eng, K: k, CoopConfig: usf.DefaultCoopConfig()}
 }
 
+// NewWithClass builds a system whose kernel runs every thread under the
+// named scheduling class ("fair", "rr", "fifo", "batch") — the knob the
+// kernel-scheduler ablation sweeps. An empty name keeps the default fair
+// class.
+func NewWithClass(machine hw.Config, seed uint64, class string) *System {
+	params := kernel.DefaultSchedParams()
+	if class != "" {
+		params.DefaultClass = class
+	}
+	return NewWithParams(machine, seed, params)
+}
+
 // Start launches a process under the given mode. Affinity/nice and other
 // per-process options come via opts (USF/Policy fields are overridden by
 // the mode).

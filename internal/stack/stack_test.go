@@ -83,3 +83,15 @@ func TestRunCompletesBeforeHorizon(t *testing.T) {
 		t.Fatal("spurious timeout")
 	}
 }
+
+func TestNewWithClassSetsDefaultClass(t *testing.T) {
+	sys := NewWithClass(hw.SmallNode(), 1, "fifo")
+	if got := sys.K.DefaultClass().Name(); got != "fifo" {
+		t.Fatalf("default class = %s, want fifo", got)
+	}
+	// Empty name keeps the fair default.
+	sys = NewWithClass(hw.SmallNode(), 1, "")
+	if got := sys.K.DefaultClass().Name(); got != "fair" {
+		t.Fatalf("default class = %s, want fair", got)
+	}
+}

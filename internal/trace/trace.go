@@ -47,6 +47,10 @@ type Event struct {
 	Thread string
 	TID    int
 	Label  string
+	// Class is the scheduling class the thread ran under ("fair",
+	// "rr", ...), so traces from different kernel schedulers can be
+	// told apart side by side.
+	Class string
 }
 
 // Buffer is a bounded event recorder. When full, the oldest events are
@@ -120,13 +124,22 @@ func (b *Buffer) WriteChromeTrace(w io.Writer) error {
 		switch e.Kind {
 		case KindRunStart:
 			ce.Phase = "B"
+			if e.Class != "" {
+				ce.Args = map[string]any{"class": e.Class}
+			}
 		case KindRunEnd:
 			ce.Phase = "E"
 		default:
 			ce.Phase = "i"
 			ce.Name = fmt.Sprintf("%s:%s", e.Kind, e.Thread)
-			if e.Label != "" {
-				ce.Args = map[string]any{"label": e.Label}
+			if e.Label != "" || e.Class != "" {
+				ce.Args = map[string]any{}
+				if e.Label != "" {
+					ce.Args["label"] = e.Label
+				}
+				if e.Class != "" {
+					ce.Args["class"] = e.Class
+				}
 			}
 		}
 		out = append(out, ce)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/rt/omp"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/trace"
 )
 
 // Scheme is one of Fig. 4's resource-management schemes.
@@ -90,6 +91,13 @@ type Config struct {
 	Seed    uint64
 	// GatewayPlanning is the per-request gateway compute.
 	GatewayPlanning sim.Duration
+	// KernelClass selects the kernel scheduling class every thread runs
+	// under ("fair", "rr", "fifo", "batch"); empty keeps the default
+	// fair class. Drives the schedcmp kernel-scheduler ablation.
+	KernelClass string
+	// Tracer, when non-nil, records the kernel's scheduling events for
+	// Chrome trace-event export (cmd/uschedsim -trace).
+	Tracer *trace.Buffer
 }
 
 // RequestTrace records one request's lifecycle (Fig. 4 bottom).
@@ -108,6 +116,10 @@ type Result struct {
 	Throughput float64
 	Elapsed    sim.Duration
 	TimedOut   bool
+	// Kernel counters for interference analysis (schedcmp).
+	Preemptions     int64
+	ContextSwitches int64
+	Migrations      int64
 }
 
 type request struct {
@@ -137,8 +149,9 @@ func Run(cfg Config) Result {
 	if cfg.Scheme == Coop {
 		mode = stack.ModeCoop
 	}
-	sys := stack.New(cfg.Machine, cfg.Seed)
+	sys := stack.NewWithClass(cfg.Machine, cfg.Seed, cfg.KernelClass)
 	k := sys.K
+	k.Tracer = cfg.Tracer
 	cores := k.NumCores()
 
 	// Channels.
@@ -254,7 +267,13 @@ func Run(cfg Config) Result {
 	if err != nil {
 		panic(err)
 	}
-	res := Result{Timeline: traces, TimedOut: timedOut || completed < cfg.Requests}
+	res := Result{
+		Timeline:        traces,
+		TimedOut:        timedOut || completed < cfg.Requests,
+		Preemptions:     k.Stats.Preemptions,
+		ContextSwitches: k.Stats.ContextSwitches,
+		Migrations:      k.Stats.Migrations,
+	}
 	if len(traces) > 0 {
 		last := sim.Time(0)
 		for _, tr := range traces {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/rt/ompss"
 	"repro/internal/sim"
 	"repro/internal/stack"
+	"repro/internal/trace"
 	"repro/internal/usf"
 )
 
@@ -36,6 +37,13 @@ type Config struct {
 	// Coop overrides the SCHED_COOP policy configuration (ablations);
 	// nil uses the paper defaults.
 	Coop *usf.CoopConfig
+	// KernelClass selects the kernel scheduling class every thread runs
+	// under ("fair", "rr", "fifo", "batch"); empty keeps the default
+	// fair class. Drives the schedcmp kernel-scheduler ablation.
+	KernelClass string
+	// Tracer, when non-nil, records the kernel's scheduling events for
+	// Chrome trace-event export (cmd/uschedsim -trace).
+	Tracer *trace.Buffer
 }
 
 // Result reports one run.
@@ -69,10 +77,11 @@ func Run(cfg Config) Result {
 	if cfg.Reps <= 0 {
 		cfg.Reps = 1
 	}
-	sys := stack.New(cfg.Machine, cfg.Seed)
+	sys := stack.NewWithClass(cfg.Machine, cfg.Seed, cfg.KernelClass)
 	if cfg.Coop != nil {
 		sys.CoopConfig = *cfg.Coop
 	}
+	sys.K.Tracer = cfg.Tracer
 	var elapsed sim.Duration
 	finished := false
 

@@ -119,6 +119,38 @@ func DualSocket16() MachineSpec { return hw.DualSocket16() }
 // parameters (a CFS-era Linux, matching the paper's testbed).
 func NewSystem(machine MachineSpec, seed uint64) *System { return stack.New(machine, seed) }
 
+// Kernel scheduling classes. The simulated kernel's scheduler is a set
+// of pluggable classes (kernel.Class): EEVDF-style fair, SCHED_RR,
+// SCHED_FIFO, and SCHED_BATCH ship built in, and new classes register
+// with kernel.RegisterClass.
+type (
+	// KernelSchedParams are the simulated kernel's scheduler tunables,
+	// including the DefaultClass every thread starts in.
+	KernelSchedParams = kernel.SchedParams
+	// KernelClass is one pluggable kernel scheduling class.
+	KernelClass = kernel.Class
+)
+
+// DefaultKernelSchedParams returns the stock Linux-like tunables used by
+// NewSystem.
+func DefaultKernelSchedParams() KernelSchedParams { return kernel.DefaultSchedParams() }
+
+// NewSystemWithParams wires a machine with explicit kernel scheduler
+// parameters.
+func NewSystemWithParams(machine MachineSpec, seed uint64, params KernelSchedParams) *System {
+	return stack.NewWithParams(machine, seed, params)
+}
+
+// NewSystemWithClass wires a machine whose kernel schedules every thread
+// under the named scheduling class ("fair", "rr", "fifo", "batch") —
+// the kernel-scheduler ablation entry point (see the schedcmp scenario).
+func NewSystemWithClass(machine MachineSpec, seed uint64, class string) *System {
+	return stack.NewWithClass(machine, seed, class)
+}
+
+// KernelClasses returns the registered kernel scheduling-class names.
+func KernelClasses() []string { return kernel.ClassNames() }
+
 // Workload configurations and single-run entry points.
 type (
 	// MatmulConfig parameterises the §5.3 nested-runtime matmul.

@@ -80,3 +80,52 @@ func TestMachinePresets(t *testing.T) {
 		t.Fatal("small presets wrong")
 	}
 }
+
+func TestPublicAPIKernelClasses(t *testing.T) {
+	names := KernelClasses()
+	want := map[string]bool{"fair": true, "rr": true, "fifo": true, "batch": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("KernelClasses() = %v, missing %v", names, want)
+	}
+	// The same workload completes under every kernel scheduling class.
+	for _, class := range names {
+		sys := NewSystemWithClass(SmallNode(), 42, class)
+		if got := sys.K.DefaultClass().Name(); got != class {
+			t.Fatalf("default class = %s, want %s", got, class)
+		}
+		var makespan VTime
+		_, err := sys.Start("app", Baseline, ProcessOptions{}, func(l *CLib) {
+			var pts []*Pthread
+			for i := 0; i < 16; i++ {
+				pts = append(pts, l.PthreadCreate("w", func() {
+					l.Compute(200 * sim.Microsecond)
+				}))
+			}
+			for _, pt := range pts {
+				l.PthreadJoin(pt)
+			}
+			makespan = l.K.Eng.Now()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(0); err != nil {
+			t.Fatalf("class %s: %v", class, err)
+		}
+		if makespan <= 0 {
+			t.Fatalf("class %s: no virtual time elapsed", class)
+		}
+	}
+}
+
+func TestPublicAPISchedParams(t *testing.T) {
+	params := DefaultKernelSchedParams()
+	params.DefaultClass = "batch"
+	sys := NewSystemWithParams(SmallNode(), 1, params)
+	if got := sys.K.DefaultClass().Name(); got != "batch" {
+		t.Fatalf("default class = %s, want batch", got)
+	}
+}
