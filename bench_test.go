@@ -431,3 +431,56 @@ func BenchmarkSchedCmpMatmulFair(b *testing.B)  { benchSchedCmpMatmul(b, "fair")
 func BenchmarkSchedCmpMatmulRR(b *testing.B)    { benchSchedCmpMatmul(b, "rr") }
 func BenchmarkSchedCmpMatmulFIFO(b *testing.B)  { benchSchedCmpMatmul(b, "fifo") }
 func BenchmarkSchedCmpMatmulBatch(b *testing.B) { benchSchedCmpMatmul(b, "batch") }
+
+// --- tailload: tail latency under load --------------------------------
+
+// benchTailLoad runs one (shape, scheme, load) cell of the tailload
+// sweep and reports the streaming meter's tail metrics.
+func benchTailLoad(b *testing.B, shapeName, schemeName string, rate float64) {
+	cfg := experiments.QuickTailLoad()
+	var shape experiments.TailShape
+	for _, s := range experiments.TailShapes() {
+		if s.Name == shapeName {
+			shape = s
+		}
+	}
+	if shape.New == nil {
+		b.Fatalf("unknown arrival shape %q", shapeName)
+	}
+	var scheme experiments.TailScheme
+	for _, s := range experiments.TailSchemes() {
+		if s.Name == schemeName {
+			scheme = s
+		}
+	}
+	if scheme.Name == "" {
+		b.Fatalf("unknown scheme %q", schemeName)
+	}
+	var last inference.Result
+	for i := 0; i < b.N; i++ {
+		last = inference.Run(inference.Config{
+			Machine:     cfg.Machine,
+			Scheme:      scheme.Scheme,
+			KernelClass: scheme.KernelClass,
+			Rate:        rate,
+			Requests:    cfg.Requests,
+			Batches:     cfg.Batches,
+			Scale:       cfg.Scale,
+			Models:      cfg.Models,
+			Horizon:     cfg.Horizon,
+			Seed:        cfg.Seed,
+			Arrivals:    shape.New(rate, cfg.Scale, cfg.Requests),
+			SLO:         cfg.SLO,
+		})
+	}
+	if !last.TimedOut {
+		b.ReportMetric(last.Tail.P99.Seconds()*1000, "sim-p99-ms")
+		b.ReportMetric(last.Tail.ViolationFrac*100, "sim-SLO-viol-pct")
+	}
+}
+
+func BenchmarkTailLoadPoissonCoop(b *testing.B) { benchTailLoad(b, "poisson", "sched_coop", 3.0) }
+func BenchmarkTailLoadPoissonFair(b *testing.B) { benchTailLoad(b, "poisson", "fair", 3.0) }
+func BenchmarkTailLoadBurstyCoop(b *testing.B)  { benchTailLoad(b, "bursty", "sched_coop", 3.0) }
+func BenchmarkTailLoadClosedCoop(b *testing.B)  { benchTailLoad(b, "closed", "sched_coop", 3.0) }
+func BenchmarkTailLoadReplayCoop(b *testing.B)  { benchTailLoad(b, "replay", "sched_coop", 3.0) }

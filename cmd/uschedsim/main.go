@@ -9,12 +9,17 @@
 //	uschedsim microservices [-quick]  # Figure 4
 //	uschedsim lammps [-quick]         # Figure 5 (+ bandwidth trace)
 //	uschedsim schedcmp [-quick]       # kernel-scheduler ablation (classes × oversubscription)
+//	uschedsim tailload [-quick]       # tail latency under load (arrival shapes × schemes, SLO knee)
 //	uschedsim all -quick              # everything, small instances
 //
 // Flags may appear before or after the subcommand:
 //
 //	-quick      run small, fast instances instead of the scaled sweep
 //	-par N      run N sim cells concurrently (default GOMAXPROCS)
+//	-seed N     replace each scenario's default RNG seed so sweeps can
+//	            be replicated under independent random streams (0, the
+//	            default, keeps the paper seeds: output stays
+//	            byte-identical run to run)
 //	-json       print the per-cell metrics report as JSON instead of tables
 //	-out FILE   also write the metrics report to FILE (.csv selects CSV)
 //	-trace FILE instead of sweeping, run one representative cell of the
@@ -56,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "print the metrics report as JSON instead of tables")
 	outPath := fs.String("out", "", "write the metrics report to `file` (.csv selects CSV, otherwise JSON)")
 	tracePath := fs.String("trace", "", "run one representative traced cell and write Chrome trace-event JSON to `file`")
+	seed := fs.Uint64("seed", 0, "replace each scenario's default RNG seed (0 keeps the paper seeds; output is then byte-identical)")
 	fs.Usage = func() { usage(fs) }
 	parse := func(args []string) (int, bool) {
 		switch err := fs.Parse(args); {
@@ -109,8 +115,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scenarios = []*harness.Scenario{s}
 	}
 
+	opt := harness.Opts{Quick: *quick, Seed: *seed}
 	if *tracePath != "" {
-		return traceCmd(scenarios, cmd, *quick, *asJSON || *outPath != "", *tracePath, stderr)
+		return traceCmd(scenarios, cmd, opt, *asJSON || *outPath != "", *tracePath, stderr)
 	}
 
 	// Open a temp file next to the report target before the sweep: a bad
@@ -129,7 +136,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outFile = f
 	}
 
-	sweep := harness.RunScenarios(scenarios, *quick, *par)
+	sweep := harness.RunScenarios(scenarios, opt, *par)
 	report := sweep.Report()
 	if *asJSON {
 		b, err := report.JSON()
@@ -170,7 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // traceCmd runs the scenario's representative traced cell and writes the
 // Chrome trace-event JSON. It replaces the sweep: the traced cell runs
 // serially (traces from a pooled sweep would interleave engines).
-func traceCmd(scenarios []*harness.Scenario, cmd string, quick, withReport bool, path string, stderr io.Writer) int {
+func traceCmd(scenarios []*harness.Scenario, cmd string, opt harness.Opts, withReport bool, path string, stderr io.Writer) int {
 	if withReport {
 		fmt.Fprintln(stderr, "uschedsim: -trace cannot be combined with -json or -out")
 		return 2
@@ -184,7 +191,7 @@ func traceCmd(scenarios []*harness.Scenario, cmd string, quick, withReport bool,
 		fmt.Fprintf(stderr, "uschedsim: scenario %q does not support tracing\n", s.Name)
 		return 2
 	}
-	buf := s.Trace(quick)
+	buf := s.Trace(opt)
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "uschedsim:", err)

@@ -122,6 +122,81 @@ func TestSchedCmpSubcommand(t *testing.T) {
 	}
 }
 
+func TestTailLoadSubcommand(t *testing.T) {
+	code, out, errOut := runCLI(t, "tailload", "-quick", "-par", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"Tail latency under load", "arrivals: poisson", "arrivals: bursty",
+		"p99 latency", "goodput", "SLO violation fraction",
+		"Max sustainable load", "sched_coop", "fair", "rr", "fifo", "batch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tailload output missing %q:\n%s", want, out)
+		}
+	}
+	// Determinism across pool widths, like every other scenario.
+	code, out2, _ := runCLI(t, "-par", "5", "tailload", "-quick")
+	if code != 0 || out != out2 {
+		t.Fatalf("tailload tables differ between -par 2 and -par 5 (exit %d)", code)
+	}
+}
+
+func TestTailLoadJSONReport(t *testing.T) {
+	code, out, errOut := runCLI(t, "tailload", "-quick", "-json", "-par", "3")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var rep harness.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output does not round-trip: %v\n%s", err, out)
+	}
+	// 2 shapes x 5 schemes x 4 loads in the quick config.
+	if len(rep.Cells) != 40 {
+		t.Fatalf("cells = %d, want 40", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Scenario != "tailload" || c.SimSeconds <= 0 || c.HostSeconds <= 0 {
+			t.Fatalf("bad cell metric: %+v", c)
+		}
+	}
+	if rep.Seed != 0 {
+		t.Fatalf("default run must record seed 0, got %d", rep.Seed)
+	}
+}
+
+func TestSeedFlagReplicatesSweeps(t *testing.T) {
+	// The override must be recorded in the report and perturb results;
+	// the same override twice must agree exactly.
+	code, def, _ := runCLI(t, "microservices", "-quick")
+	if code != 0 {
+		t.Fatal("default run failed")
+	}
+	code, seeded, errOut := runCLI(t, "microservices", "-quick", "-seed", "12345")
+	if code != 0 {
+		t.Fatalf("seeded run failed: %s", errOut)
+	}
+	if def == seeded {
+		t.Fatal("-seed 12345 produced byte-identical output to the default seeds")
+	}
+	code, seeded2, _ := runCLI(t, "-seed", "12345", "microservices", "-quick")
+	if code != 0 || seeded != seeded2 {
+		t.Fatalf("same -seed not reproducible (exit %d)", code)
+	}
+	code, out, _ := runCLI(t, "microservices", "-quick", "-json", "-seed", "12345")
+	if code != 0 {
+		t.Fatal("seeded -json run failed")
+	}
+	var rep harness.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 12345 {
+		t.Fatalf("report seed = %d, want 12345", rep.Seed)
+	}
+}
+
 func TestTraceFlagWritesChromeJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	code, out, errOut := runCLI(t, "schedcmp", "-quick", "-trace", path)

@@ -198,3 +198,74 @@ func TestSchedCmpParallelMatchesSerial(t *testing.T) {
 		t.Fatalf("schedcmp tables differ between par 1 and par 4:\n%s\n---\n%s", serial, parallel)
 	}
 }
+
+func TestTailLoadQuickSweep(t *testing.T) {
+	// A trimmed grid keeps the test fast while exercising assembly,
+	// rendering, and knee detection end to end.
+	cfg := QuickTailLoad()
+	cfg.Shapes = cfg.Shapes[:2] // poisson, bursty
+	cfg.Schemes = []TailScheme{
+		{Name: "sched_coop", Scheme: inference.Coop},
+		{Name: "fair", Scheme: inference.BlNone, KernelClass: "fair"},
+	}
+	cfg.Loads = []float64{0.5, 8.0}
+	res := RunTailLoad(cfg)
+	if len(res.Cells) != 2 || len(res.Cells[0]) != 2 || len(res.Cells[0][0]) != 2 {
+		t.Fatalf("grid shape wrong: %d shapes", len(res.Cells))
+	}
+	for shi := range cfg.Shapes {
+		for si := range cfg.Schemes {
+			for li := range cfg.Loads {
+				c := res.Cells[shi][si][li]
+				if c.TimedOut {
+					t.Fatalf("%s/%s@%.2f timed out", c.Shape, c.Scheme, c.Load)
+				}
+				if c.Tail.Completed != cfg.Requests || c.Tail.P99 <= 0 {
+					t.Fatalf("%s/%s@%.2f: empty tail stats %+v", c.Shape, c.Scheme, c.Load, c.Tail)
+				}
+			}
+		}
+	}
+	// The low load must sustain the SLO; saturation at load 8.0 must
+	// violate it, so the knee sits at 0.5 for every (shape, scheme).
+	for shi := range cfg.Shapes {
+		for si := range cfg.Schemes {
+			knee, ok := res.Knee(shi, si)
+			if !ok || knee != 0.5 {
+				t.Fatalf("knee[%d][%d] = %v (ok %v), want 0.5", shi, si, knee, ok)
+			}
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"arrivals: poisson", "arrivals: bursty",
+		"p99 latency", "goodput", "SLO violation fraction", "Max sustainable load"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTailLoadShapesCoverAllSources(t *testing.T) {
+	// Every arrival shape must drive the inference stack to completion
+	// under SCHED_COOP at a moderate load.
+	cfg := QuickTailLoad()
+	for _, shape := range TailShapes() {
+		res := inference.Run(inference.Config{
+			Machine:  cfg.Machine,
+			Scheme:   inference.Coop,
+			Rate:     2.0,
+			Requests: 6,
+			Batches:  cfg.Batches,
+			Scale:    cfg.Scale,
+			Models:   cfg.Models,
+			Horizon:  cfg.Horizon,
+			Seed:     cfg.Seed,
+			Arrivals: shape.New(2.0, cfg.Scale, 6),
+			SLO:      cfg.SLO,
+		})
+		if res.TimedOut || res.Tail.Completed != 6 {
+			t.Fatalf("shape %s: %d/6 completed (timed out %v)",
+				shape.Name, res.Tail.Completed, res.TimedOut)
+		}
+	}
+}

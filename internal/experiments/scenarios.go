@@ -14,39 +14,49 @@ import (
 // subcommands against the registry and `all` sweeps every cell through
 // one worker pool.
 
-func figure3Config(quick bool) Figure3Config {
-	if quick {
-		return QuickFigure3()
+func figure3Config(opt harness.Opts) Figure3Config {
+	cfg := DefaultFigure3()
+	if opt.Quick {
+		cfg = QuickFigure3()
 	}
-	return DefaultFigure3()
+	cfg.Seed = opt.ApplySeed(cfg.Seed)
+	return cfg
 }
 
-func table2Config(quick bool) Table2Config {
-	if quick {
-		return QuickTable2()
+func table2Config(opt harness.Opts) Table2Config {
+	cfg := DefaultTable2()
+	if opt.Quick {
+		cfg = QuickTable2()
 	}
-	return DefaultTable2()
+	cfg.Seed = opt.ApplySeed(cfg.Seed)
+	return cfg
 }
 
-func figure4Config(quick bool) Figure4Config {
-	if quick {
-		return QuickFigure4()
+func figure4Config(opt harness.Opts) Figure4Config {
+	cfg := DefaultFigure4()
+	if opt.Quick {
+		cfg = QuickFigure4()
 	}
-	return DefaultFigure4()
+	cfg.Seed = opt.ApplySeed(cfg.Seed)
+	return cfg
 }
 
-func figure5Config(quick bool) Figure5Config {
-	if quick {
-		return QuickFigure5()
+func figure5Config(opt harness.Opts) Figure5Config {
+	cfg := DefaultFigure5()
+	if opt.Quick {
+		cfg = QuickFigure5()
 	}
-	return DefaultFigure5()
+	cfg.Base.Seed = opt.ApplySeed(cfg.Base.Seed)
+	return cfg
 }
 
-func schedCmpConfig(quick bool) SchedCmpConfig {
-	if quick {
-		return QuickSchedCmp()
+func schedCmpConfig(opt harness.Opts) SchedCmpConfig {
+	cfg := DefaultSchedCmp()
+	if opt.Quick {
+		cfg = QuickSchedCmp()
 	}
-	return DefaultSchedCmp()
+	cfg.Seed = opt.ApplySeed(cfg.Seed)
+	return cfg
 }
 
 // traceCap bounds -trace recordings: a flight-recorder ring holding the
@@ -112,65 +122,119 @@ func traceSchedCmp(cfg SchedCmpConfig) *trace.Buffer {
 	return buf
 }
 
+func tailLoadConfig(opt harness.Opts) TailLoadConfig {
+	cfg := DefaultTailLoad()
+	if opt.Quick {
+		cfg = QuickTailLoad()
+	}
+	cfg.Seed = opt.ApplySeed(cfg.Seed)
+	return cfg
+}
+
+// traceTailLoad traces the most loaded bursty cell under the last
+// configured scheme, so the trace shows tail-latency formation under
+// bursty arrivals.
+func traceTailLoad(cfg TailLoadConfig) *trace.Buffer {
+	buf := trace.NewBuffer(traceCap)
+	shape := cfg.Shapes[0]
+	for _, s := range cfg.Shapes {
+		if s.Name == "bursty" {
+			shape = s
+		}
+	}
+	scheme := cfg.Schemes[len(cfg.Schemes)-1]
+	rate := cfg.Loads[len(cfg.Loads)-1]
+	inference.Run(inference.Config{
+		Machine:     cfg.Machine,
+		Scheme:      scheme.Scheme,
+		KernelClass: scheme.KernelClass,
+		Rate:        rate,
+		Requests:    cfg.Requests,
+		Batches:     cfg.Batches,
+		Scale:       cfg.Scale,
+		Models:      cfg.Models,
+		Horizon:     cfg.Horizon,
+		Seed:        cfg.Seed,
+		Arrivals:    shape.New(rate, cfg.Scale, cfg.Requests),
+		SLO:         cfg.SLO,
+		MaxInFlight: cfg.MaxInFlight,
+		Tracer:      buf,
+	})
+	return buf
+}
+
 func init() {
 	harness.Register(&harness.Scenario{
 		Name:  "matmul",
 		Title: "Figure 3: nested-runtime matmul heatmaps",
-		Jobs: func(quick bool) []harness.Job {
-			return Figure3Jobs(figure3Config(quick))
+		Jobs: func(opt harness.Opts) []harness.Job {
+			return Figure3Jobs(figure3Config(opt))
 		},
-		Render: func(quick bool, results []harness.Result) string {
-			return AssembleFigure3(figure3Config(quick), results).Render()
+		Render: func(opt harness.Opts, results []harness.Result) string {
+			return AssembleFigure3(figure3Config(opt), results).Render()
 		},
-		Trace: func(quick bool) *trace.Buffer {
-			return traceMatmul(figure3Config(quick))
+		Trace: func(opt harness.Opts) *trace.Buffer {
+			return traceMatmul(figure3Config(opt))
 		},
 	})
 	harness.Register(&harness.Scenario{
 		Name:  "cholesky",
 		Title: "Table 2: Cholesky runtime compositions",
-		Jobs: func(quick bool) []harness.Job {
-			return Table2Jobs(table2Config(quick))
+		Jobs: func(opt harness.Opts) []harness.Job {
+			return Table2Jobs(table2Config(opt))
 		},
-		Render: func(quick bool, results []harness.Result) string {
-			return AssembleTable2(table2Config(quick), results).Render()
+		Render: func(opt harness.Opts, results []harness.Result) string {
+			return AssembleTable2(table2Config(opt), results).Render()
 		},
 	})
 	harness.Register(&harness.Scenario{
 		Name:  "microservices",
 		Title: "Figure 4: AI microservices",
-		Jobs: func(quick bool) []harness.Job {
-			return Figure4Jobs(figure4Config(quick))
+		Jobs: func(opt harness.Opts) []harness.Job {
+			return Figure4Jobs(figure4Config(opt))
 		},
-		Render: func(quick bool, results []harness.Result) string {
-			return AssembleFigure4(figure4Config(quick), results).Render()
+		Render: func(opt harness.Opts, results []harness.Result) string {
+			return AssembleFigure4(figure4Config(opt), results).Render()
 		},
-		Trace: func(quick bool) *trace.Buffer {
-			return traceMicroservices(figure4Config(quick))
+		Trace: func(opt harness.Opts) *trace.Buffer {
+			return traceMicroservices(figure4Config(opt))
 		},
 	})
 	harness.Register(&harness.Scenario{
 		Name:  "lammps",
 		Title: "Figure 5: LAMMPS + DeePMD-kit ensembles",
-		Jobs: func(quick bool) []harness.Job {
-			return Figure5Jobs(figure5Config(quick))
+		Jobs: func(opt harness.Opts) []harness.Job {
+			return Figure5Jobs(figure5Config(opt))
 		},
-		Render: func(quick bool, results []harness.Result) string {
-			res := AssembleFigure5(figure5Config(quick), results)
+		Render: func(opt harness.Opts, results []harness.Result) string {
+			res := AssembleFigure5(figure5Config(opt), results)
 			return res.Render() + res.RenderBWTrace(md.SchedCoopNode, 30)
 		},
 	})
 	harness.Register(&harness.Scenario{
 		Name:  "schedcmp",
 		Title: "Kernel-scheduler ablation: scheduling classes × oversubscription",
-		Jobs: func(quick bool) []harness.Job {
-			return SchedCmpJobs(schedCmpConfig(quick))
+		Jobs: func(opt harness.Opts) []harness.Job {
+			return SchedCmpJobs(schedCmpConfig(opt))
 		},
-		Render: func(quick bool, results []harness.Result) string {
-			return AssembleSchedCmp(schedCmpConfig(quick), results).Render()
+		Render: func(opt harness.Opts, results []harness.Result) string {
+			return AssembleSchedCmp(schedCmpConfig(opt), results).Render()
 		},
-		Trace: func(quick bool) *trace.Buffer {
-			return traceSchedCmp(schedCmpConfig(quick))
+		Trace: func(opt harness.Opts) *trace.Buffer {
+			return traceSchedCmp(schedCmpConfig(opt))
+		},
+	})
+	harness.Register(&harness.Scenario{
+		Name:  "tailload",
+		Title: "Tail latency under load: arrival shapes × schemes × offered load",
+		Jobs: func(opt harness.Opts) []harness.Job {
+			return TailLoadJobs(tailLoadConfig(opt))
+		},
+		Render: func(opt harness.Opts, results []harness.Result) string {
+			return AssembleTailLoad(tailLoadConfig(opt), results).Render()
+		},
+		Trace: func(opt harness.Opts) *trace.Buffer {
+			return traceTailLoad(tailLoadConfig(opt))
 		},
 	})
 }

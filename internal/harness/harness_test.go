@@ -97,8 +97,8 @@ func testScenario(name string, cells int) *Scenario {
 	return &Scenario{
 		Name:  name,
 		Title: "Test " + name,
-		Jobs:  func(quick bool) []Job { return countJobs(cells, nil) },
-		Render: func(quick bool, results []Result) string {
+		Jobs:  func(opt Opts) []Job { return countJobs(cells, nil) },
+		Render: func(opt Opts, results []Result) string {
 			var sb strings.Builder
 			for _, r := range results {
 				fmt.Fprintf(&sb, "%d ", r.Value.(int))
@@ -106,6 +106,20 @@ func testScenario(name string, cells int) *Scenario {
 			sb.WriteByte('\n')
 			return sb.String()
 		},
+	}
+}
+
+func TestOptsApplySeed(t *testing.T) {
+	if got := (Opts{}).ApplySeed(9); got != 9 {
+		t.Fatalf("default seed = %d, want 9", got)
+	}
+	if got := (Opts{Seed: 42}).ApplySeed(9); got != 42 {
+		t.Fatalf("override seed = %d, want 42", got)
+	}
+	sw := RunScenarios([]*Scenario{testScenario("test-seed", 1)}, Opts{Quick: true, Seed: 7}, 1)
+	rep := sw.Report()
+	if !rep.Quick || rep.Seed != 7 {
+		t.Fatalf("report opts = quick %v seed %d", rep.Quick, rep.Seed)
 	}
 }
 
@@ -135,7 +149,7 @@ func TestRegisterLookupAndDuplicatePanic(t *testing.T) {
 
 func TestRunScenariosSlicesAndRenders(t *testing.T) {
 	ss := []*Scenario{testScenario("test-a", 3), testScenario("test-b", 2)}
-	sw := RunScenarios(ss, true, 2)
+	sw := RunScenarios(ss, Opts{Quick: true}, 2)
 	if sw.Cells() != 5 {
 		t.Fatalf("cells = %d", sw.Cells())
 	}
@@ -161,7 +175,7 @@ func TestRunScenariosSlicesAndRenders(t *testing.T) {
 }
 
 func TestReportJSONRoundTripAndCSV(t *testing.T) {
-	sw := RunScenarios([]*Scenario{testScenario("test-report", 3)}, false, 1)
+	sw := RunScenarios([]*Scenario{testScenario("test-report", 3)}, Opts{}, 1)
 	rep := sw.Report()
 	if rep.TotalSimSeconds != 3 { // 0+1+2 sim-seconds
 		t.Fatalf("total sim seconds = %v", rep.TotalSimSeconds)

@@ -7,6 +7,29 @@ import (
 	"repro/internal/trace"
 )
 
+// Opts parameterises a sweep expansion: which configuration size to use
+// and, optionally, a replacement RNG seed. Every Scenario hook receives
+// the same Opts so Jobs, Render, and Trace agree on the configuration.
+type Opts struct {
+	// Quick selects the small test-sized configuration over the scaled
+	// paper sweep.
+	Quick bool
+	// Seed, when non-zero, replaces each scenario's default engine seed
+	// so sweeps can be replicated under independent RNG streams (the
+	// cmd/uschedsim -seed flag). Zero keeps the per-scenario paper
+	// seeds, so default output stays byte-identical.
+	Seed uint64
+}
+
+// ApplySeed returns the scenario's default seed, or the override when
+// one is set. Experiment config helpers call it when expanding.
+func (o Opts) ApplySeed(def uint64) uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return def
+}
+
 // Scenario is a registered experiment: a named expansion of config into
 // independent cell jobs plus a renderer that reassembles ordered
 // results into the paper-style text. Scenarios register at init time
@@ -18,16 +41,16 @@ type Scenario struct {
 	Name string
 	// Title is the heading printed above the rendered output.
 	Title string
-	// Jobs expands the scenario into its cell jobs. quick selects the
-	// small test-sized configuration over the scaled paper sweep.
-	Jobs func(quick bool) []Job
+	// Jobs expands the scenario into its cell jobs under the given
+	// options.
+	Jobs func(opt Opts) []Job
 	// Render reassembles results (in Jobs order) into display text.
-	Render func(quick bool, results []Result) string
+	Render func(opt Opts, results []Result) string
 	// Trace, when non-nil, runs one representative cell of the
 	// scenario with kernel event tracing enabled and returns the
 	// recorded buffer (the cmd/uschedsim -trace flag). Scenarios whose
 	// workloads cannot attach a tracer leave it nil.
-	Trace func(quick bool) *trace.Buffer
+	Trace func(opt Opts) *trace.Buffer
 }
 
 var (
@@ -69,8 +92,8 @@ func Names() []string {
 }
 
 // expand returns the scenario's jobs with the Scenario tag stamped.
-func (s *Scenario) expand(quick bool) []Job {
-	jobs := s.Jobs(quick)
+func (s *Scenario) expand(opt Opts) []Job {
+	jobs := s.Jobs(opt)
 	for i := range jobs {
 		jobs[i].Scenario = s.Name
 	}
@@ -86,7 +109,7 @@ type ScenarioResult struct {
 // Sweep is the outcome of RunScenarios: per-scenario ordered results
 // plus the pool configuration and wall time of the whole run.
 type Sweep struct {
-	Quick     bool
+	Opt       Opts
 	Par       int
 	Scenarios []ScenarioResult
 	// HostTime is the wall-clock time of the pooled run.
@@ -97,12 +120,12 @@ type Sweep struct {
 // through one bounded pool (so `all` parallelises across scenarios,
 // not just within one), and slices the ordered results back per
 // scenario.
-func RunScenarios(ss []*Scenario, quick bool, par int) *Sweep {
+func RunScenarios(ss []*Scenario, opt Opts, par int) *Sweep {
 	var jobs []Job
 	bounds := make([]int, 0, len(ss)+1)
 	for _, s := range ss {
 		bounds = append(bounds, len(jobs))
-		jobs = append(jobs, s.expand(quick)...)
+		jobs = append(jobs, s.expand(opt)...)
 	}
 	bounds = append(bounds, len(jobs))
 	// Record the effective pool width (Run clamps identically), so the
@@ -113,7 +136,7 @@ func RunScenarios(ss []*Scenario, quick bool, par int) *Sweep {
 	}
 	start := time.Now()
 	results := Run(jobs, par)
-	sw := &Sweep{Quick: quick, Par: par, HostTime: time.Since(start)}
+	sw := &Sweep{Opt: opt, Par: par, HostTime: time.Since(start)}
 	for i, s := range ss {
 		sw.Scenarios = append(sw.Scenarios, ScenarioResult{
 			Scenario: s,
@@ -140,7 +163,7 @@ func (sw *Sweep) RenderTables(w io.Writer) error {
 		if _, err := io.WriteString(w, "==== "+sr.Scenario.Title+" ====\n"); err != nil {
 			return err
 		}
-		if _, err := io.WriteString(w, sr.Scenario.Render(sw.Quick, sr.Results)); err != nil {
+		if _, err := io.WriteString(w, sr.Scenario.Render(sw.Opt, sr.Results)); err != nil {
 			return err
 		}
 		if _, err := io.WriteString(w, "\n"); err != nil {

@@ -1,0 +1,75 @@
+package load
+
+// Limiter is an optional admission/concurrency-limit stage between a
+// Source and a served workload: at most Limit requests run at once;
+// excess admissions queue FIFO and dispatch as completions free slots.
+// It is purely event-driven — admissions run synchronously at the
+// simulated instant a slot is available — so placing it in front of a
+// workload never perturbs engine determinism.
+type Limiter struct {
+	limit    int
+	inflight int
+	queue    []func()
+	// peak tracks the high-water mark of concurrently running
+	// admissions, for tests and reporting.
+	peak int
+	// queuedMax tracks the deepest the backlog got.
+	queuedMax int
+}
+
+// NewLimiter returns a limiter admitting at most limit concurrent
+// requests. A non-positive limit disables limiting: every admission
+// runs immediately.
+func NewLimiter(limit int) *Limiter {
+	return &Limiter{limit: limit}
+}
+
+// Admit runs fn now if a slot is free (or limiting is disabled),
+// otherwise queues it behind earlier waiters.
+func (l *Limiter) Admit(fn func()) {
+	if l.limit <= 0 {
+		fn()
+		return
+	}
+	if l.inflight < l.limit {
+		l.inflight++
+		if l.inflight > l.peak {
+			l.peak = l.inflight
+		}
+		fn()
+		return
+	}
+	l.queue = append(l.queue, fn)
+	if len(l.queue) > l.queuedMax {
+		l.queuedMax = len(l.queue)
+	}
+}
+
+// Done releases one slot and dispatches the oldest queued admission, if
+// any. Call it exactly once per completed admission.
+func (l *Limiter) Done() {
+	if l.limit <= 0 {
+		return
+	}
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		next()
+		return
+	}
+	if l.inflight > 0 {
+		l.inflight--
+	}
+}
+
+// InFlight returns the number of currently admitted requests.
+func (l *Limiter) InFlight() int { return l.inflight }
+
+// Queued returns the current backlog depth.
+func (l *Limiter) Queued() int { return len(l.queue) }
+
+// Peak returns the high-water mark of concurrent admissions.
+func (l *Limiter) Peak() int { return l.peak }
+
+// QueuedMax returns the deepest the backlog got.
+func (l *Limiter) QueuedMax() int { return l.queuedMax }

@@ -1,0 +1,144 @@
+package load
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Meter does streaming latency accounting for a served workload:
+// submissions and completions are recorded as they happen, latencies
+// feed a fixed-memory quantile sketch (metrics.Sketch), and completions
+// are judged against an optional SLO. Nothing is retained per request
+// beyond the in-flight submission times, so the meter scales to
+// arbitrarily long runs.
+type Meter struct {
+	// SLO is the latency objective; completions above it count as
+	// violations. Zero disables SLO accounting (goodput == throughput).
+	SLO sim.Duration
+
+	sketch       metrics.Sketch
+	inflight     map[int]sim.Time
+	submitted    int
+	completed    int
+	violations   int
+	firstSubmit  sim.Time
+	lastComplete sim.Time
+}
+
+// NewMeter returns a meter judging completions against slo (0 = none).
+func NewMeter(slo sim.Duration) *Meter {
+	return &Meter{SLO: slo, inflight: make(map[int]sim.Time)}
+}
+
+// Submitted records the arrival of request id at time t.
+func (m *Meter) Submitted(id int, t sim.Time) {
+	if m.submitted == 0 || t < m.firstSubmit {
+		m.firstSubmit = t
+	}
+	m.submitted++
+	m.inflight[id] = t
+}
+
+// Completed records the completion of request id at time t and returns
+// its latency. Completing an id that was never submitted records a
+// zero-latency completion.
+func (m *Meter) Completed(id int, t sim.Time) sim.Duration {
+	start, ok := m.inflight[id]
+	if !ok {
+		start = t
+	}
+	delete(m.inflight, id)
+	lat := t.Sub(start)
+	m.sketch.Add(lat)
+	m.completed++
+	if m.SLO > 0 && lat > m.SLO {
+		m.violations++
+	}
+	if t > m.lastComplete {
+		m.lastComplete = t
+	}
+	return lat
+}
+
+// InFlight returns the number of submitted-but-uncompleted requests.
+func (m *Meter) InFlight() int { return len(m.inflight) }
+
+// MeterStats is a snapshot of a Meter: streaming tail-latency
+// percentiles plus SLO-relative goodput accounting.
+type MeterStats struct {
+	// Offered and Completed count submissions and completions.
+	Offered, Completed int
+	// Latency percentiles from the quantile sketch (within 1% of the
+	// exact order statistics) plus the exact mean and extrema.
+	Mean, P50, P95, P99, P999 sim.Duration
+	Min, Max                  sim.Duration
+	// SLO echoes the objective; Violations counts completions above it
+	// and ViolationFrac is their fraction of all completions.
+	SLO           sim.Duration
+	Violations    int
+	ViolationFrac float64
+	// Throughput is completions per second between the first submission
+	// and the last completion; Goodput counts only SLO-met completions.
+	Throughput float64
+	Goodput    float64
+}
+
+// Stats snapshots the meter.
+func (m *Meter) Stats() MeterStats {
+	st := MeterStats{
+		Offered:    m.submitted,
+		Completed:  m.completed,
+		SLO:        m.SLO,
+		Violations: m.violations,
+		Mean:       m.sketch.Mean(),
+		P50:        m.sketch.Quantile(0.5),
+		P95:        m.sketch.Quantile(0.95),
+		P99:        m.sketch.Quantile(0.99),
+		P999:       m.sketch.Quantile(0.999),
+		Min:        m.sketch.Min(),
+		Max:        m.sketch.Max(),
+	}
+	if m.completed > 0 {
+		st.ViolationFrac = float64(m.violations) / float64(m.completed)
+		if span := m.lastComplete.Sub(m.firstSubmit); span > 0 {
+			st.Throughput = float64(m.completed) / span.Seconds()
+			st.Goodput = float64(m.completed-m.violations) / span.Seconds()
+		}
+	}
+	return st
+}
+
+// MeetsSLO reports whether the measured violation fraction is within
+// the tolerated budget (e.g. 0.01 allows 1% of completions over the
+// objective). A meter with no completions vacuously meets the SLO.
+func (st MeterStats) MeetsSLO(budget float64) bool {
+	return st.ViolationFrac <= budget
+}
+
+// LoadPoint pairs one offered load with its measured stats, for
+// max-sustainable-load detection across a sweep.
+type LoadPoint struct {
+	// Load is the offered load (req/s, multiplier — any monotone axis).
+	Load float64
+	// Stats is the measurement at that load.
+	Stats MeterStats
+	// TimedOut marks runs that hit their horizon; they never sustain.
+	TimedOut bool
+}
+
+// MaxSustainable scans load points (in increasing-load order) and
+// returns the highest load that completed within its horizon and kept
+// the SLO violation fraction within budget — the knee of the
+// throughput-vs-tail-latency curve. ok is false when no point
+// qualifies.
+func MaxSustainable(points []LoadPoint, budget float64) (load float64, ok bool) {
+	for _, p := range points {
+		if p.TimedOut || !p.Stats.MeetsSLO(budget) {
+			continue
+		}
+		if !ok || p.Load > load {
+			load, ok = p.Load, true
+		}
+	}
+	return load, ok
+}

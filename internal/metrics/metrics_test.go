@@ -62,6 +62,91 @@ func TestSeriesResample(t *testing.T) {
 	}
 }
 
+func TestSeriesMeanEdgeCases(t *testing.T) {
+	// Empty series: mean is 0 over any window.
+	var empty Series
+	if m := empty.Mean(0, 100); m != 0 {
+		t.Fatalf("empty Mean = %v", m)
+	}
+	// Degenerate window (to <= from) is 0, not NaN/Inf.
+	var s Series
+	s.Add(10, 5)
+	if m := s.Mean(50, 50); m != 0 {
+		t.Fatalf("zero-width Mean = %v", m)
+	}
+	if m := s.Mean(80, 20); m != 0 {
+		t.Fatalf("inverted-window Mean = %v", m)
+	}
+	// Single sample: value holds from its timestamp onward.
+	if m := s.Mean(10, 20); m != 5 {
+		t.Fatalf("single-sample Mean = %v, want 5", m)
+	}
+	// Window entirely before the first sample: the implicit initial 0.
+	if m := s.Mean(0, 10); m != 0 {
+		t.Fatalf("pre-sample Mean = %v, want 0", m)
+	}
+	// Window entirely after the last sample: last value holds.
+	if m := s.Mean(1000, 2000); m != 5 {
+		t.Fatalf("post-sample Mean = %v, want 5", m)
+	}
+}
+
+func TestSeriesResampleEdgeCases(t *testing.T) {
+	// Empty series resamples to all zeros at the requested grid.
+	var empty Series
+	ts, vs := empty.Resample(0, 100, 5)
+	if len(ts) != 5 || len(vs) != 5 {
+		t.Fatalf("empty resample sizes %d/%d", len(ts), len(vs))
+	}
+	for i, v := range vs {
+		if v != 0 {
+			t.Fatalf("empty resample vs[%d] = %v", i, v)
+		}
+	}
+	// Single sample: zero before its timestamp, its value after.
+	var s Series
+	s.Add(50, 3)
+	_, vs = s.Resample(0, 100, 4) // grid points 0, 25, 50, 75
+	if vs[0] != 0 || vs[1] != 0 || vs[2] != 3 || vs[3] != 3 {
+		t.Fatalf("single-sample resample %v", vs)
+	}
+	// Window entirely outside (after) the sampled range holds the last
+	// value everywhere.
+	_, vs = s.Resample(1000, 2000, 3)
+	for i, v := range vs {
+		if v != 3 {
+			t.Fatalf("post-range resample vs[%d] = %v", i, v)
+		}
+	}
+	// Window entirely before the sampled range is all zeros.
+	_, vs = s.Resample(0, 40, 3)
+	for i, v := range vs {
+		if v != 0 {
+			t.Fatalf("pre-range resample vs[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	// Empty slice (and nil) summarise to the zero value.
+	if st := Summarize([]sim.Duration{}); st != (LatencyStats{}) {
+		t.Fatalf("empty Summarize = %+v", st)
+	}
+	// Single sample: every statistic is that sample.
+	st := Summarize([]sim.Duration{7 * sim.Second})
+	want := LatencyStats{N: 1, Mean: 7 * sim.Second, P50: 7 * sim.Second,
+		P99: 7 * sim.Second, Min: 7 * sim.Second, Max: 7 * sim.Second}
+	if st != want {
+		t.Fatalf("single Summarize = %+v", st)
+	}
+	// Summarize must not mutate its input.
+	ds := []sim.Duration{30, 10, 20}
+	Summarize(ds)
+	if ds[0] != 30 || ds[1] != 10 || ds[2] != 20 {
+		t.Fatalf("Summarize reordered input: %v", ds)
+	}
+}
+
 func TestSeriesMeanBoundsProperty(t *testing.T) {
 	// Property: the integral mean always lies within [min, max] of the
 	// contributing samples (plus initial 0).

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// Sketch bucket geometry: values below 2^(subBits+1) land in exact
+// unit-wide buckets; above that, each power-of-two octave is split into
+// 2^subBits log-spaced buckets, so a bucket's relative width is at most
+// 2^-subBits (≈0.78%) and its midpoint is within ≈0.4% of any member.
+const (
+	sketchSubBits = 7
+	sketchSub     = 1 << sketchSubBits // sub-buckets per octave
+	// sketchBuckets covers the full non-negative int64 range: the
+	// 2*sketchSub linear buckets plus (63 - sketchSubBits - 1) octaves.
+	sketchBuckets = 2*sketchSub + (62-sketchSubBits)*sketchSub
+)
+
+// Sketch is a fixed-memory streaming quantile estimator for durations:
+// an HDR-histogram-style log-bucketed histogram. Adding a sample is
+// O(1), memory is ~57 KiB regardless of sample count, and any
+// quantile is recovered within 1% relative error — the tool the load
+// subsystem uses to report p99/p99.9 without retaining every latency.
+//
+// The zero value is ready to use.
+type Sketch struct {
+	counts [sketchBuckets]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// sketchIndex maps a non-negative value to its bucket.
+func sketchIndex(v int64) int {
+	if v < 2*sketchSub {
+		return int(v)
+	}
+	// 2^(h-1) <= v < 2^h, h >= sketchSubBits+2.
+	h := bits.Len64(uint64(v))
+	top := h - (sketchSubBits + 1)
+	mant := int(v >> uint(top)) // in [sketchSub, 2*sketchSub)
+	return 2*sketchSub + (top-1)*sketchSub + (mant - sketchSub)
+}
+
+// sketchMid returns the representative (midpoint) value of a bucket.
+func sketchMid(idx int) int64 {
+	if idx < 2*sketchSub {
+		return int64(idx)
+	}
+	rel := idx - 2*sketchSub
+	top := rel/sketchSub + 1
+	mant := int64(rel%sketchSub + sketchSub)
+	lo := mant << uint(top)
+	return lo + int64(1)<<uint(top-1)
+}
+
+// Add records one duration. Negative durations clamp to zero.
+func (s *Sketch) Add(d sim.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	s.counts[sketchIndex(v)]++
+	s.sum += v
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.n++
+}
+
+// N returns the number of recorded samples.
+func (s *Sketch) N() int64 { return s.n }
+
+// Mean returns the exact mean of the recorded samples (0 when empty).
+func (s *Sketch) Mean() sim.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	return sim.Duration(s.sum / s.n)
+}
+
+// Min returns the exact minimum sample (0 when empty).
+func (s *Sketch) Min() sim.Duration { return sim.Duration(s.min) }
+
+// Max returns the exact maximum sample (0 when empty).
+func (s *Sketch) Max() sim.Duration { return sim.Duration(s.max) }
+
+// Quantile returns the q-quantile (q in [0, 1]) of the recorded
+// samples, using the same rank convention as Summarize: the value at
+// sorted index int(q * (n-1)). The result is the matched bucket's
+// midpoint clamped into [Min, Max], so it is within 1% (relative) of
+// the exact order statistic. Returns 0 when empty.
+func (s *Sketch) Quantile(q float64) sim.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.n-1))
+	var cum int64
+	for i := range s.counts {
+		cum += s.counts[i]
+		if cum > rank {
+			v := sketchMid(i)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return sim.Duration(v)
+		}
+	}
+	return sim.Duration(s.max)
+}
+
+// Merge adds every sample recorded in o into s.
+func (s *Sketch) Merge(o *Sketch) {
+	if o.n == 0 {
+		return
+	}
+	for i := range o.counts {
+		s.counts[i] += o.counts[i]
+	}
+	if s.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n += o.n
+	s.sum += o.sum
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// exactQuantile mirrors Summarize's rank convention on a sorted copy.
+func exactQuantile(ds []sim.Duration, q float64) sim.Duration {
+	sorted := make([]sim.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func TestSketchEmptyAndSingle(t *testing.T) {
+	var s Sketch
+	if s.N() != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Fatalf("empty sketch not zero: %+v", s)
+	}
+	s.Add(42 * sim.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 42*sim.Millisecond {
+			t.Fatalf("single-sample q%.2f = %v", q, got)
+		}
+	}
+	if s.Mean() != 42*sim.Millisecond || s.Min() != 42*sim.Millisecond {
+		t.Fatalf("single-sample mean/min wrong: %v/%v", s.Mean(), s.Min())
+	}
+}
+
+func TestSketchSmallExactRegion(t *testing.T) {
+	// Values below 256ns land in exact unit buckets.
+	var s Sketch
+	for v := int64(0); v < 256; v++ {
+		s.Add(sim.Duration(v))
+	}
+	if got := s.Quantile(0.5); got != 127 && got != 128 {
+		t.Fatalf("median of 0..255 = %v", got)
+	}
+	if s.Min() != 0 || s.Max() != 255 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+// TestSketchWithin1PercentOf10kReference is the acceptance check: on a
+// 10k-sample reference stream, the sketch's p50 and p99 match the
+// exact-sorted percentiles within 1%.
+func TestSketchWithin1PercentOf10kReference(t *testing.T) {
+	rng := sim.NewRand(12345)
+	var s Sketch
+	ds := make([]sim.Duration, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		// Log-normal-ish latencies spanning several orders of magnitude.
+		d := sim.Duration(math.Exp(rng.NormFloat64()) * 50e6) // ~50ms scale
+		ds = append(ds, d)
+		s.Add(d)
+	}
+	if s.N() != 10000 {
+		t.Fatalf("N = %d", s.N())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		got := float64(s.Quantile(q))
+		want := float64(exactQuantile(ds, q))
+		if relErr := math.Abs(got-want) / want; relErr > 0.01 {
+			t.Fatalf("q%g: sketch %v vs exact %v (rel err %.4f > 1%%)",
+				q, sim.Duration(got), sim.Duration(want), relErr)
+		}
+	}
+	// The exact aggregates must match to the nanosecond.
+	var sum sim.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	if s.Mean() != sum/10000 {
+		t.Fatalf("mean %v != exact %v", s.Mean(), sum/10000)
+	}
+	if s.Max() != exactQuantile(ds, 1) || s.Min() != exactQuantile(ds, 0) {
+		t.Fatalf("min/max not exact: %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSketchQuantileMonotone(t *testing.T) {
+	rng := sim.NewRand(7)
+	var s Sketch
+	for i := 0; i < 1000; i++ {
+		s.Add(sim.Duration(rng.Intn(1_000_000_000)))
+	}
+	prev := sim.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%.2f: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSketchNegativeClampsToZero(t *testing.T) {
+	var s Sketch
+	s.Add(-5 * sim.Second)
+	if s.Quantile(0.5) != 0 || s.Min() != 0 {
+		t.Fatalf("negative sample not clamped: %+v", s.Quantile(0.5))
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	var a, b, all Sketch
+	rng := sim.NewRand(99)
+	for i := 0; i < 500; i++ {
+		d := sim.Duration(rng.Intn(1_000_000))
+		all.Add(d)
+		if i%2 == 0 {
+			a.Add(d)
+		} else {
+			b.Add(d)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() || a.Mean() != all.Mean() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge aggregates differ: %v vs %v", a, all)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("merge q%g differs: %v vs %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	// Merging an empty sketch is a no-op.
+	var empty Sketch
+	before := a.Quantile(0.5)
+	a.Merge(&empty)
+	if a.Quantile(0.5) != before || a.N() != all.N() {
+		t.Fatal("merging empty sketch changed state")
+	}
+}
+
+func TestSketchBucketGeometry(t *testing.T) {
+	// Every representative value must land back in its own bucket, and
+	// bucket boundaries must be monotone.
+	for idx := 0; idx < sketchBuckets; idx++ {
+		mid := sketchMid(idx)
+		if mid < 0 { // past int64 range at the very top octave
+			break
+		}
+		if got := sketchIndex(mid); got != idx {
+			t.Fatalf("bucket %d: midpoint %d maps to bucket %d", idx, mid, got)
+		}
+	}
+}

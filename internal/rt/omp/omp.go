@@ -71,6 +71,10 @@ type Runtime struct {
 	cfg Config
 
 	teams map[*glibc.Pthread]*team
+	// teamOrder holds teams in creation order: Shutdown must stop them
+	// deterministically (map iteration order would let the Go runtime
+	// perturb the simulated schedule).
+	teamOrder []*team
 
 	// Stats
 	RegionsRun int64
@@ -131,13 +135,14 @@ func (r *Runtime) ParallelFor(total int, body func(lo, hi int)) {
 	})
 }
 
-// Shutdown joins every cached team's workers. Call when the process is
-// done with OpenMP.
+// Shutdown joins every cached team's workers, in team creation order so
+// teardown is deterministic. Call when the process is done with OpenMP.
 func (r *Runtime) Shutdown() {
-	for _, tm := range r.teams {
+	for _, tm := range r.teamOrder {
 		tm.stopWorkers()
 	}
 	r.teams = make(map[*glibc.Pthread]*team)
+	r.teamOrder = nil
 }
 
 // teamFor returns (growing as needed) the calling master's cached team.
@@ -146,6 +151,7 @@ func (r *Runtime) teamFor(master *glibc.Pthread, n int) *team {
 	if tm == nil {
 		tm = &team{r: r, master: master}
 		r.teams[master] = tm
+		r.teamOrder = append(r.teamOrder, tm)
 	}
 	tm.grow(n)
 	return tm

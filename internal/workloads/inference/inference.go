@@ -18,6 +18,7 @@ import (
 	"repro/internal/glibc"
 	"repro/internal/hw"
 	"repro/internal/kernel"
+	"repro/internal/load"
 	"repro/internal/metrics"
 	"repro/internal/rt/omp"
 	"repro/internal/sim"
@@ -95,6 +96,20 @@ type Config struct {
 	// under ("fair", "rr", "fifo", "batch"); empty keeps the default
 	// fair class. Drives the schedcmp kernel-scheduler ablation.
 	KernelClass string
+	// Arrivals is the client arrival process. Nil keeps the paper's
+	// open-loop Poisson client at Rate (scaled by 1/Scale like the model
+	// works, so the load factor is preserved); custom sources are used
+	// as-is and must account for Scale themselves. Sources are
+	// single-use: supply a fresh one per Run.
+	Arrivals load.Source
+	// SLO is the per-request latency objective the tail meter judges
+	// completions against (0 disables SLO accounting).
+	SLO sim.Duration
+	// MaxInFlight caps concurrently admitted requests at the gateway:
+	// excess arrivals queue FIFO in the admission stage and are only
+	// handed to the gateway as completions free slots. 0 means no
+	// admission control (the paper's setup).
+	MaxInFlight int
 	// Tracer, when non-nil, records the kernel's scheduling events for
 	// Chrome trace-event export (cmd/uschedsim -trace).
 	Tracer *trace.Buffer
@@ -112,6 +127,9 @@ type Result struct {
 	Latencies []sim.Duration
 	Timeline  []RequestTrace
 	Stats     metrics.LatencyStats
+	// Tail is the streaming meter's view of the run: high percentiles
+	// (p95/p99/p99.9), goodput, and SLO-violation accounting.
+	Tail load.MeterStats
 	// Throughput is completed requests per second of total runtime.
 	Throughput float64
 	Elapsed    sim.Duration
@@ -163,6 +181,12 @@ func Run(cfg Config) Result {
 
 	// Partitioning masks.
 	masks := partition(cfg, cores)
+
+	// Arrival process (resolved before the gateway closure captures it).
+	src := cfg.Arrivals
+	if src == nil {
+		src = &load.Poisson{Rate: cfg.Rate / cfg.Scale}
+	}
 
 	var traces []RequestTrace
 	completed := 0
@@ -219,6 +243,12 @@ func Run(cfg Config) Result {
 		}
 	}
 
+	// Tail accounting and the optional admission stage in front of the
+	// gateway. Both are passive with respect to the engine (no events,
+	// no RNG), so enabling neither keeps runs byte-identical.
+	meter := load.NewMeter(cfg.SLO)
+	admit := load.NewLimiter(cfg.MaxInFlight)
+
 	// Gateway.
 	_, err := sys.Start("gateway", mode, glibc.Options{Nice: 0, Affinity: masks[0]}, func(l *glibc.Lib) {
 		var handlers []*glibc.Pthread
@@ -234,10 +264,14 @@ func Run(cfg Config) Result {
 						glibc.Poll(l.K, []*glibc.Chan{req.resp}, -1)
 						req.resp.Recv()
 					}
+					now := l.K.Eng.Now()
 					traces = append(traces, RequestTrace{
-						ID: req.id, Submitted: req.sentAt, Completed: l.K.Eng.Now(),
+						ID: req.id, Submitted: req.sentAt, Completed: now,
 					})
 					completed++
+					meter.Completed(req.id, now)
+					admit.Done()
+					src.Completed(req.id)
 				}))
 		}
 		for _, h := range handlers {
@@ -248,20 +282,15 @@ func Run(cfg Config) Result {
 		panic(err)
 	}
 
-	// Poisson client (external, event-driven).
-	rng := sys.Eng.Rand("client")
-	rate := cfg.Rate / cfg.Scale
-	var submit func(n int)
-	submit = func(n int) {
-		if n >= cfg.Requests {
-			return
-		}
-		req := &request{id: n, sentAt: sys.Eng.Now(), resp: glibc.NewChan(k)}
-		gwIn.Send(req)
-		gap := sim.Duration(rng.ExpFloat64() / rate * 1e9)
-		sys.Eng.After(gap, func() { submit(n + 1) })
-	}
-	sys.Eng.After(0, func() { submit(0) })
+	// Client: an external, event-driven arrival process on the engine's
+	// "client" RNG stream. The default reproduces the paper's open-loop
+	// Poisson generator; latency covers admission queueing, so sentAt is
+	// the arrival instant, not the dispatch instant.
+	src.Start(sys.Eng, sys.Eng.Rand("client"), cfg.Requests, func(id int) {
+		req := &request{id: id, sentAt: sys.Eng.Now(), resp: glibc.NewChan(k)}
+		meter.Submitted(id, req.sentAt)
+		admit.Admit(func() { gwIn.Send(req) })
+	})
 
 	timedOut, err := sys.Run(cfg.Horizon)
 	if err != nil {
@@ -269,6 +298,7 @@ func Run(cfg Config) Result {
 	}
 	res := Result{
 		Timeline:        traces,
+		Tail:            meter.Stats(),
 		TimedOut:        timedOut || completed < cfg.Requests,
 		Preemptions:     k.Stats.Preemptions,
 		ContextSwitches: k.Stats.ContextSwitches,

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/hw"
+	"repro/internal/load"
 	"repro/internal/sim"
 )
 
@@ -85,6 +86,91 @@ func TestSeqStableButSlowAtLowRate(t *testing.T) {
 	}
 	if seq.Stats.Mean <= none.Stats.Mean {
 		t.Fatalf("seq mean %v <= parallel %v at low rate", seq.Stats.Mean, none.Stats.Mean)
+	}
+}
+
+func TestTailMeterTracksExactStats(t *testing.T) {
+	// The streaming tail meter must agree with the exact post-hoc
+	// summary on what it can measure exactly.
+	res := Run(fastCfg(Coop, 1.0))
+	if res.Tail.Completed != len(res.Latencies) || res.Tail.Offered != len(res.Latencies) {
+		t.Fatalf("tail counts %+v vs %d latencies", res.Tail, len(res.Latencies))
+	}
+	if res.Tail.Max != res.Stats.Max || res.Tail.Min != res.Stats.Min {
+		t.Fatalf("tail extrema %v/%v vs exact %v/%v",
+			res.Tail.Min, res.Tail.Max, res.Stats.Min, res.Stats.Max)
+	}
+	// No SLO configured: no violations, goodput == throughput.
+	if res.Tail.Violations != 0 || res.Tail.Goodput != res.Tail.Throughput {
+		t.Fatalf("SLO accounting active without an SLO: %+v", res.Tail)
+	}
+}
+
+func TestSLOViolationAccounting(t *testing.T) {
+	// A 1ns SLO is violated by every request; a huge SLO by none.
+	cfg := fastCfg(Coop, 1.0)
+	cfg.SLO = sim.Nanosecond
+	res := Run(cfg)
+	if res.Tail.ViolationFrac != 1 || res.Tail.Goodput != 0 {
+		t.Fatalf("tight SLO: %+v", res.Tail)
+	}
+	cfg = fastCfg(Coop, 1.0)
+	cfg.SLO = 1000 * 3600 * sim.Second
+	res = Run(cfg)
+	if res.Tail.ViolationFrac != 0 {
+		t.Fatalf("loose SLO: %+v", res.Tail)
+	}
+}
+
+func TestCustomArrivalSourceAndAdmission(t *testing.T) {
+	// A replay trace delivering all requests at t=0 through a 1-wide
+	// admission stage must serialise the requests: every request still
+	// completes, and latencies grow monotonically with arrival order.
+	cfg := fastCfg(BlNone, 1.0)
+	cfg.Arrivals = &load.Replay{At: make([]sim.Duration, cfg.Requests)}
+	cfg.MaxInFlight = 1
+	res := Run(cfg)
+	if res.TimedOut || len(res.Latencies) != cfg.Requests {
+		t.Fatalf("admission-limited run incomplete: %d/%d (timed out %v)",
+			len(res.Latencies), cfg.Requests, res.TimedOut)
+	}
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].Submitted != res.Timeline[0].Submitted {
+			t.Fatalf("replay arrivals not simultaneous: %+v", res.Timeline[i])
+		}
+	}
+	// With a 1-wide gate, completions are strictly serialised.
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].Completed <= res.Timeline[i-1].Completed {
+			t.Fatalf("1-wide admission did not serialise completions: %+v", res.Timeline)
+		}
+	}
+}
+
+func TestRepeatedRunsIdenticalInProcess(t *testing.T) {
+	// Regression: repeated in-process runs of the same cell must agree
+	// exactly. This trajectory (bl-none, rate 1.0, seed 12345) used to
+	// diverge because omp.Runtime.Shutdown tore teams down in Go map
+	// iteration order, letting the host runtime perturb the simulated
+	// schedule.
+	cfg := fastCfg(BlNone, 1.0)
+	cfg.Requests = 8
+	cfg.Seed = 12345
+	cfg.Horizon = 4000 * sim.Second
+	first := Run(cfg)
+	for i := 0; i < 3; i++ {
+		res := Run(cfg)
+		if res.Elapsed != first.Elapsed || res.Throughput != first.Throughput {
+			t.Fatalf("run %d diverged: elapsed %v vs %v", i+1, res.Elapsed, first.Elapsed)
+		}
+		if len(res.Latencies) != len(first.Latencies) {
+			t.Fatalf("run %d: %d latencies vs %d", i+1, len(res.Latencies), len(first.Latencies))
+		}
+		for j := range res.Latencies {
+			if res.Latencies[j] != first.Latencies[j] {
+				t.Fatalf("run %d: latency[%d] %v vs %v", i+1, j, res.Latencies[j], first.Latencies[j])
+			}
+		}
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"repro/internal/glibc"
 	"repro/internal/hw"
 	"repro/internal/kernel"
+	"repro/internal/load"
 	"repro/internal/nosv"
 	"repro/internal/sim"
 	"repro/internal/stack"
@@ -165,6 +166,8 @@ type (
 	MicroservicesConfig = inference.Config
 	// MicroservicesResult is its outcome.
 	MicroservicesResult = inference.Result
+	// InferenceModel is one inference server's compute profile.
+	InferenceModel = inference.Model
 	// MDConfig parameterises the §5.6 LAMMPS+DeePMD study.
 	MDConfig = md.Config
 	// MDResult is its outcome.
@@ -240,3 +243,46 @@ func DefaultFigure5() Figure5Config { return experiments.DefaultFigure5() }
 
 // QuickFigure5 returns a small fast MD study.
 func QuickFigure5() Figure5Config { return experiments.QuickFigure5() }
+
+// Load generation and SLO/tail-latency accounting (internal/load).
+type (
+	// LoadSource is a pluggable client arrival process.
+	LoadSource = load.Source
+	// Poisson is the open-loop memoryless arrival process.
+	Poisson = load.Poisson
+	// Bursty is the MMPP-style two-state bursty arrival process.
+	Bursty = load.Bursty
+	// Ramp is the diurnal sinusoidal-rate arrival process.
+	Ramp = load.Ramp
+	// ClosedLoop models N clients with think time.
+	ClosedLoop = load.Closed
+	// Replay submits requests at exact recorded offsets.
+	Replay = load.Replay
+	// LoadMeter does streaming tail-latency and SLO accounting.
+	LoadMeter = load.Meter
+	// LoadMeterStats is a meter snapshot.
+	LoadMeterStats = load.MeterStats
+	// AdmissionLimiter caps concurrently admitted requests.
+	AdmissionLimiter = load.Limiter
+	// TailLoadConfig sweeps offered load × arrival shape × scheme.
+	TailLoadConfig = experiments.TailLoadConfig
+	// TailLoadResult holds the tailload grid and its SLO knees.
+	TailLoadResult = experiments.TailLoadResult
+)
+
+// NewLoadMeter returns a meter judging completions against slo (0 =
+// none).
+func NewLoadMeter(slo sim.Duration) *LoadMeter { return load.NewMeter(slo) }
+
+// NewAdmissionLimiter returns a limiter admitting at most limit
+// concurrent requests (non-positive = unlimited).
+func NewAdmissionLimiter(limit int) *AdmissionLimiter { return load.NewLimiter(limit) }
+
+// RunTailLoad executes the tail-latency-under-load sweep.
+func RunTailLoad(cfg TailLoadConfig) *TailLoadResult { return experiments.RunTailLoad(cfg) }
+
+// DefaultTailLoad returns the scaled full tailload sweep.
+func DefaultTailLoad() TailLoadConfig { return experiments.DefaultTailLoad() }
+
+// QuickTailLoad returns a small fast tailload sweep.
+func QuickTailLoad() TailLoadConfig { return experiments.QuickTailLoad() }
