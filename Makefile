@@ -1,0 +1,40 @@
+# Developer entry points. The benchmarks regenerate paper artefacts, so
+# one iteration (-benchtime=1x) per family is a complete, deterministic
+# simulation; raise BENCHTIME for statistically stable ns/op.
+SHELL := /bin/bash
+BENCHTIME ?= 1x
+# The internal/sim microbenchmarks are nanosecond-scale and batched, so
+# one iteration only measures pool warm-up; they get a real iteration
+# count while the artefact benchmarks stay at one full simulation each.
+SIM_BENCHTIME ?= 100000x
+BENCH     ?= .
+BENCH_OUT ?= BENCH_PR4.json
+
+.PHONY: test race bench bench-json quick
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/load ./internal/harness ./internal/sim ./internal/kernel
+
+quick:
+	go run ./cmd/uschedsim all -quick
+
+# bench runs every benchmark family once (plus the engine
+# microbenchmarks at a steady-state iteration count) and keeps the raw
+# text.
+bench:
+	set -o pipefail; \
+	go test -bench=$(BENCH) -benchtime=$(BENCHTIME) -benchmem -run='^$$' \
+		$$(go list ./... | grep -v '/internal/sim$$') | tee bench.txt && \
+	go test -bench=$(BENCH) -benchtime=$(SIM_BENCHTIME) -benchmem -run='^$$' \
+		./internal/sim | tee -a bench.txt
+
+# bench-json runs the tier-1 benchmarks and writes the machine-readable
+# perf trajectory (ns/op + allocs/op + sim metrics per benchmark). CI
+# uploads the result as an artifact so PRs can be diffed for perf
+# regressions.
+bench-json: bench
+	go run ./cmd/benchjson -in bench.txt -out $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"

@@ -1,0 +1,172 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON perf trajectory. It reads benchmark text from
+// stdin (or -in FILE) and writes a JSON document (to stdout or -out
+// FILE) with one record per benchmark: iterations, ns/op, B/op,
+// allocs/op, and any custom metrics (the sim-* values the paper
+// benchmarks report). CI runs it after the bench job so every PR leaves
+// a BENCH_*.json artifact to diff against.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem -run='^$' ./... | benchjson -out BENCH_PR4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "read benchmark output from `file` instead of stdin")
+	out := flag.String("out", "", "write JSON to `file` instead of stdout")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+}
+
+// parse consumes `go test -bench` text output. Unknown lines are
+// ignored, so interleaved test output ("ok repro 1.2s", PASS) is
+// harmless.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		b.Package = pkg
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rep.Benchmarks, func(i, j int) bool {
+		if rep.Benchmarks[i].Package != rep.Benchmarks[j].Package {
+			return rep.Benchmarks[i].Package < rep.Benchmarks[j].Package
+		}
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return rep, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkTimerChurn-4  10398724  115.1 ns/op  0 B/op  0 allocs/op  3.2 sim-GFLOPS
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across hosts.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	seenNs := false
+	// The remainder alternates value / unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			vv := v
+			b.BytesPerOp = &vv
+		case "allocs/op":
+			vv := v
+			b.AllocsPerOp = &vv
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, seenNs
+}

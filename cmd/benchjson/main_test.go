@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure3MatmulBaseline-4    3  46143907 ns/op  207.2 sim-GFLOPS  0 sim-preemptions  222306 B/op  3750 allocs/op
+BenchmarkZZZ-4  1  5 ns/op
+PASS
+ok  	repro	1.923s
+pkg: repro/internal/sim
+BenchmarkTimerChurn-4  10398724  115.1 ns/op  0 B/op  0 allocs/op
+some noise line
+ok  	repro/internal/sim	8.417s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	// Sorted by (package, name).
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkFigure3MatmulBaseline" || b.Package != "repro" {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.Iterations != 3 || b.NsPerOp != 46143907 {
+		t.Fatalf("ns/op: %+v", b)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 3750 {
+		t.Fatalf("allocs/op: %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 222306 {
+		t.Fatalf("B/op: %+v", b)
+	}
+	if b.Metrics["sim-GFLOPS"] != 207.2 || b.Metrics["sim-preemptions"] != 0 {
+		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+	churn := rep.Benchmarks[2]
+	if churn.Name != "BenchmarkTimerChurn" || churn.Package != "repro/internal/sim" {
+		t.Fatalf("third = %+v", churn)
+	}
+	if churn.AllocsPerOp == nil || *churn.AllocsPerOp != 0 {
+		t.Fatalf("churn allocs: %+v", churn)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkBroken-4 notanumber ns/op\nhello\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed garbage: %+v", rep.Benchmarks)
+	}
+}

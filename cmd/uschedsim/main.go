@@ -26,6 +26,11 @@
 //	            scenario with kernel event tracing and write Chrome
 //	            trace-event JSON (chrome://tracing, Perfetto) to FILE;
 //	            events are tagged with the scheduling class
+//	-cpuprofile FILE
+//	            write a pprof CPU profile of the run to FILE, so any
+//	            scenario can be profiled directly (go tool pprof)
+//	-memprofile FILE
+//	            write a pprof heap profile taken at exit to FILE
 //
 // Experiments are resolved against the internal/harness scenario
 // registry; their independent cells fan out over a bounded worker pool
@@ -42,6 +47,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	_ "repro/internal/experiments" // register the experiment scenarios
@@ -62,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outPath := fs.String("out", "", "write the metrics report to `file` (.csv selects CSV, otherwise JSON)")
 	tracePath := fs.String("trace", "", "run one representative traced cell and write Chrome trace-event JSON to `file`")
 	seed := fs.Uint64("seed", 0, "replace each scenario's default RNG seed (0 keeps the paper seeds; output is then byte-identical)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	fs.Usage = func() { usage(fs) }
 	parse := func(args []string) (int, bool) {
 		switch err := fs.Parse(args); {
@@ -92,6 +101,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "uschedsim: unexpected arguments %q\n", extra)
 		fs.Usage()
 		return 2
+	}
+
+	// Profiling wraps everything below, so any scenario (or the whole
+	// sweep) can be profiled directly: the CPU profile covers the run,
+	// the heap profile is a snapshot at exit.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "uschedsim:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "uschedsim:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		// Fail fast on an unwritable path before minutes of simulation.
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "uschedsim:", err)
+			return 2
+		}
+		defer func() {
+			runtime.GC() // surface live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "uschedsim:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var scenarios []*harness.Scenario

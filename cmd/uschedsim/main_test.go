@@ -253,3 +253,32 @@ func TestTraceFlagErrors(t *testing.T) {
 		t.Fatalf("-trace -json: exit %d, stderr:\n%s", code, errOut)
 	}
 }
+
+func TestProfileFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, out, errOut := runCLI(t, "cholesky", "-quick", "-par", "1",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Table 2") {
+		t.Fatalf("profiled run lost its table output:\n%s", out)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// An unwritable profile path must fail fast, before the sweep.
+	code, _, _ = runCLI(t, "cholesky", "-quick",
+		"-cpuprofile", filepath.Join(dir, "no/such/dir/cpu.pprof"))
+	if code != 2 {
+		t.Fatalf("bad -cpuprofile path: exit %d, want 2", code)
+	}
+}

@@ -21,8 +21,6 @@ import (
 	"repro/internal/sim"
 )
 
-const tlKey = "glibc.pthread"
-
 // Stats counts glibc-level activity.
 type Stats struct {
 	ThreadsCreated int64
@@ -115,7 +113,7 @@ func StartProcess(k *kernel.Kernel, name string, opts Options, main func(l *Lib)
 	}
 	pt := &Pthread{lib: l, doneF: k.NewFutex()}
 	pt.KT = k.SpawnThread(proc, name+"/main", func(kt *kernel.Thread) {
-		kt.Local[tlKey] = pt
+		kt.TLS = pt
 		if l.Inst != nil {
 			pt.task = l.Inst.Attach(kt, proc.PID, name+"/main")
 			pt.worker = pt.task.Worker()
@@ -148,7 +146,7 @@ func (l *Lib) Self() *Pthread {
 	if kt == nil {
 		panic("glibc: Self called outside thread context")
 	}
-	pt, _ := kt.Local[tlKey].(*Pthread)
+	pt, _ := kt.TLS.(*Pthread)
 	if pt == nil {
 		panic(fmt.Sprintf("glibc: %v has no pthread state", kt))
 	}
@@ -217,7 +215,7 @@ func (l *Lib) PthreadCreate(name string, fn func()) *Pthread {
 		l.Compute(threadCreateCost)
 		pt := &Pthread{lib: l, doneF: l.K.NewFutex()}
 		pt.KT = l.K.SpawnThread(l.Proc, name, func(kt *kernel.Thread) {
-			kt.Local[tlKey] = pt
+			kt.TLS = pt
 			kt.Compute(threadStartCost)
 			runUser(pt, fn)
 			pt.finish()
@@ -232,7 +230,7 @@ func (l *Lib) PthreadCreate(name string, fn func()) *Pthread {
 		l.Compute(cacheReuseCost)
 		pt := &Pthread{lib: l, KT: old.KT, worker: old.worker, doneF: l.K.NewFutex()}
 		pt.task = l.Inst.NewTask(pt.worker, l.Proc.PID, name)
-		pt.KT.Local[tlKey] = pt
+		pt.KT.TLS = pt
 		pt.worker.PendingFn = fn
 		l.Inst.Submit(pt.task)
 		return pt
@@ -246,7 +244,7 @@ func (l *Lib) PthreadCreate(name string, fn func()) *Pthread {
 	})
 	pt.worker = l.Inst.NewWorker(pt.KT)
 	pt.task = l.Inst.NewTask(pt.worker, l.Proc.PID, name)
-	pt.KT.Local[tlKey] = pt
+	pt.KT.TLS = pt
 	pt.worker.PendingFn = fn
 	l.Inst.Submit(pt.task)
 	return pt
@@ -258,10 +256,10 @@ func (l *Lib) PthreadCreate(name string, fn func()) *Pthread {
 // reuse; the Pthread handle is re-read after every wake because each
 // pthread_create binds a fresh handle (and task) to the cached worker.
 func (l *Lib) workerLoop(kt *kernel.Thread) {
-	w := kt.Local[tlKey].(*Pthread).worker
+	w := kt.TLS.(*Pthread).worker
 	for {
 		l.Inst.ParkWorker(w)
-		pt := kt.Local[tlKey].(*Pthread)
+		pt := kt.TLS.(*Pthread)
 		if w.Shutdown {
 			l.Inst.Detach(w.Task())
 			return

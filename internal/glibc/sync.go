@@ -102,7 +102,7 @@ func (m *Mutex) Unlock() {
 func (m *Mutex) Owner() *Pthread { return m.owner }
 
 func ptOf(t *nosv.Task) *Pthread {
-	pt, _ := t.Worker().KT.Local[tlKey].(*Pthread)
+	pt, _ := t.Worker().KT.TLS.(*Pthread)
 	return pt
 }
 

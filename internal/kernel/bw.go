@@ -93,17 +93,24 @@ func (m *bwManager) retimeSocket(s *socketBW) {
 // retime (re)schedules the completion event for t's running segment.
 func (m *bwManager) retime(c *Core, t *Thread) {
 	seg := t.seg
-	if seg.endEv != nil {
-		seg.endEv.Cancel()
-		seg.endEv = nil
-	}
+	seg.endEv.Cancel()
+	seg.endEv = sim.Event{}
 	if !seg.running {
 		return
 	}
 	d := sim.Duration(seg.total() / seg.speed)
-	tt := t
-	cc := c
-	seg.endEv = m.k.Eng.After(d, func() { cc.onSegmentEnd(tt) })
+	seg.endEv = m.k.Eng.AfterFunc(d, segmentEnd, t)
+}
+
+// segmentEnd is the segment-completion callback shared by every thread.
+// The event is cancelled whenever the segment stops running, so when it
+// fires the thread is still current on the core that scheduled it.
+func segmentEnd(arg any) {
+	t := arg.(*Thread)
+	if t.curCore < 0 {
+		return
+	}
+	t.kern.cores[t.curCore].onSegmentEnd(t)
 }
 
 // sample reports the socket's consumed bandwidth to the metrics hook.

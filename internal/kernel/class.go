@@ -70,8 +70,10 @@ type RunQueue interface {
 	// Enqueue adds t.
 	Enqueue(t *Thread)
 	// Dequeue removes a specific queued thread (exit, affinity change,
-	// class change).
-	Dequeue(t *Thread)
+	// class change), reporting whether it was present. Core dispatch
+	// keeps incremental queue counters and must not decrement them on a
+	// no-op removal.
+	Dequeue(t *Thread) bool
 	// Pick removes and returns the next thread to run, or nil.
 	Pick() *Thread
 	// Peek returns the next thread without removing it, or nil.

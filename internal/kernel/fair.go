@@ -114,10 +114,12 @@ func (q *fairQueue) Pick() *Thread {
 	return t
 }
 
-func (q *fairQueue) Dequeue(t *Thread) {
+func (q *fairQueue) Dequeue(t *Thread) bool {
 	if t.rqIdx >= 0 && t.rqIdx < len(q.ts) && q.ts[t.rqIdx] == t {
 		q.removeAt(t.rqIdx)
+		return true
 	}
+	return false
 }
 
 // Steal removes and returns the first queued thread (in heap array

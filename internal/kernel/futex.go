@@ -41,24 +41,46 @@ func (f *Futex) Wait(t *Thread, expect int32, timeout sim.Duration) WaitResult {
 	k.Stats.FutexWaits++
 	f.waiters = append(f.waiters, t)
 	t.waitsOn = f
-	res := WaitWoken
 	if timeout >= 0 {
-		t.sleepEv = k.Eng.After(timeout, func() {
-			t.sleepEv = nil
-			if t.waitsOn == f {
-				f.remove(t)
-				res = WaitTimedOut
-				k.wake(t, true)
-			}
-		})
+		t.timeoutFutex = f
+		t.futexTimedOut = false
+		t.sleepEv = k.Eng.AfterFunc(timeout, futexTimeout, t)
 	}
 	k.blockCurrent(t)
 	t.proc.Park()
-	if t.sleepEv != nil {
-		t.sleepEv.Cancel()
-		t.sleepEv = nil
+	t.sleepEv.Cancel()
+	t.sleepEv = sim.Event{}
+	if t.futexTimedOut {
+		t.futexTimedOut = false
+		t.timeoutFutex = nil
+		return WaitTimedOut
 	}
-	return res
+	t.timeoutFutex = nil
+	return WaitWoken
+}
+
+// futexTimeout is the wait-timeout callback shared by every thread: it
+// wakes the waiter unless it was requeued to another futex (then the
+// timer armed for the original wait is dead, as in FUTEX_CMP_REQUEUE).
+func futexTimeout(arg any) {
+	t := arg.(*Thread)
+	t.sleepEv = sim.Event{}
+	if f := t.timeoutFutex; f != nil && t.waitsOn == f {
+		f.remove(t)
+		t.futexTimedOut = true
+		t.kern.wake(t, true)
+	}
+}
+
+// popWaiter removes and returns the head of the wait queue. The queue
+// shifts in place (rather than re-slicing the head away) so the backing
+// array is stable and wait/wake cycles do not reallocate it.
+func (f *Futex) popWaiter() *Thread {
+	t := f.waiters[0]
+	n := copy(f.waiters, f.waiters[1:])
+	f.waiters[n] = nil
+	f.waiters = f.waiters[:n]
+	return t
 }
 
 // Wake wakes up to n waiters (FUTEX_WAKE) and returns how many were woken.
@@ -67,13 +89,10 @@ func (f *Futex) Wake(n int) int {
 	k := f.k
 	woken := 0
 	for woken < n && len(f.waiters) > 0 {
-		t := f.waiters[0]
-		f.waiters = f.waiters[1:]
+		t := f.popWaiter()
 		t.waitsOn = nil
-		if t.sleepEv != nil {
-			t.sleepEv.Cancel()
-			t.sleepEv = nil
-		}
+		t.sleepEv.Cancel()
+		t.sleepEv = sim.Event{}
 		k.Stats.FutexWakes++
 		k.wake(t, true)
 		woken++
@@ -87,8 +106,7 @@ func (f *Futex) Wake(n int) int {
 func (f *Futex) Requeue(nWake, nMove int, target *Futex) (woken, moved int) {
 	woken = f.Wake(nWake)
 	for moved < nMove && len(f.waiters) > 0 {
-		t := f.waiters[0]
-		f.waiters = f.waiters[1:]
+		t := f.popWaiter()
 		t.waitsOn = target
 		target.waiters = append(target.waiters, t)
 		moved++

@@ -111,16 +111,15 @@ type Kernel struct {
 	classes      []Class
 	classByName  map[string]Class
 	defaultClass Class
+	// stealableSlot and classRank cache Stealable()/Rank() by queue
+	// slot so per-pick decisions avoid interface calls.
+	stealableSlot []bool
+	classRank     []int
 
 	procs   map[Pid]*Process
 	threads map[Tid]*Thread
 	nextPid Pid
 	nextTid Tid
-
-	// threadOfProc maps this kernel's sim procs back to their threads.
-	// It is per-kernel (not package-global) so independent engines can
-	// run concurrently on different host cores.
-	threadOfProc map[*sim.Proc]*Thread
 
 	bw *bwManager
 
@@ -138,7 +137,7 @@ type Kernel struct {
 	// blocks, wakes) for offline inspection.
 	Tracer *trace.Buffer
 
-	balanceEv *sim.Event
+	balanceEv sim.Event
 	rrSeq     uint64 // dispatch sequence for FIFO tie-breaking
 }
 
@@ -148,18 +147,21 @@ func New(eng *sim.Engine, cfg hw.Config, params SchedParams) *Kernel {
 		panic(err)
 	}
 	k := &Kernel{
-		Eng:          eng,
-		HW:           cfg,
-		Params:       params,
-		procs:        make(map[Pid]*Process),
-		threads:      make(map[Tid]*Thread),
-		threadOfProc: make(map[*sim.Proc]*Thread),
-		Local:        make(map[string]any),
+		Eng:     eng,
+		HW:      cfg,
+		Params:  params,
+		procs:   make(map[Pid]*Process),
+		threads: make(map[Tid]*Thread),
+		Local:   make(map[string]any),
 	}
 	k.classes = newClasses(k)
 	k.classByName = make(map[string]Class, len(k.classes))
-	for _, cl := range k.classes {
+	k.stealableSlot = make([]bool, len(k.classes))
+	k.classRank = make([]int, len(k.classes))
+	for i, cl := range k.classes {
 		k.classByName[cl.Name()] = cl
+		k.stealableSlot[i] = cl.Stealable()
+		k.classRank[i] = cl.Rank()
 	}
 	def := params.DefaultClass
 	if def == "" {
@@ -264,13 +266,16 @@ func (k *Kernel) Processes() []*Process {
 }
 
 // Current returns the thread whose code is currently executing, or nil when
-// called from event context.
+// called from event context. The thread rides on the proc's Data slot
+// (set by SpawnThread, cleared on exit), so the lookup is pointer-chasing
+// only — no map access on this per-syscall path. It stays correct with
+// independent engines running concurrently: the binding is per-proc.
 func (k *Kernel) Current() *Thread {
 	p := k.Eng.Current()
 	if p == nil {
 		return nil
 	}
-	if t, ok := k.threadOfProc[p]; ok {
+	if t, ok := p.Data.(*Thread); ok && t.kern == k {
 		return t
 	}
 	return nil

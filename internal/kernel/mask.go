@@ -109,6 +109,19 @@ func (m Mask) Clone() Mask {
 	return out
 }
 
+// CloneInto returns an independent copy of m, reusing dst's backing
+// storage when it is large enough. Hot affinity updates (worker pinning
+// on every nOS-V placement) use it to avoid allocating a fresh mask per
+// update.
+func (m Mask) CloneInto(dst Mask) Mask {
+	if cap(dst.bits) < len(m.bits) {
+		return m.Clone()
+	}
+	b := dst.bits[:len(m.bits)]
+	copy(b, m.bits)
+	return Mask{bits: b}
+}
+
 // Equal reports whether two masks select the same cores.
 func (m Mask) Equal(o Mask) bool {
 	n := len(m.bits)

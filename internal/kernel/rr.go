@@ -86,14 +86,16 @@ func (q *rtQueue) Pick() *Thread {
 	return t
 }
 
-func (q *rtQueue) Dequeue(t *Thread) {
+func (q *rtQueue) Dequeue(t *Thread) bool {
 	for i, x := range q.ts {
 		if x == t {
 			copy(q.ts[i:], q.ts[i+1:])
+			q.ts[len(q.ts)-1] = nil
 			q.ts = q.ts[:len(q.ts)-1]
-			return
+			return true
 		}
 	}
+	return false
 }
 
 // Steal removes and returns the highest-priority queued thread whose

@@ -17,10 +17,17 @@ type Core struct {
 
 	curr *Thread
 	qs   []RunQueue
+	// qlen mirrors qs[i].Len(), and nq/nsteal the total and stealable
+	// queued counts, so pick/steal/preempt decisions read counters
+	// instead of rescanning every class queue. Every queue mutation goes
+	// through noteAdded/noteRemoved.
+	qlen   []int
+	nq     int
+	nsteal int
 
 	minVruntime int64
 	sliceEnd    sim.Time
-	preemptEv   *sim.Event
+	preemptEv   sim.Event
 	pendingIRQ  sim.Duration // timer-tick overhead charged to the next dispatch
 
 	lastTid   Tid
@@ -33,10 +40,31 @@ type Core struct {
 func newCore(k *Kernel, id int) *Core {
 	c := &Core{k: k, id: id, isIdle: true}
 	c.qs = make([]RunQueue, len(k.classes))
+	c.qlen = make([]int, len(k.classes))
 	for i, cl := range k.classes {
 		c.qs[i] = cl.NewQueue()
 	}
 	return c
+}
+
+// noteAdded records that a thread entered the queue of the given class
+// slot.
+func (c *Core) noteAdded(slot int) {
+	c.qlen[slot]++
+	c.nq++
+	if c.k.stealableSlot[slot] {
+		c.nsteal++
+	}
+}
+
+// noteRemoved records that a thread left the queue of the given class
+// slot.
+func (c *Core) noteRemoved(slot int) {
+	c.qlen[slot]--
+	c.nq--
+	if c.k.stealableSlot[slot] {
+		c.nsteal--
+	}
 }
 
 // ID returns the core's index.
@@ -58,25 +86,11 @@ func (c *Core) MinVruntime() int64 { return c.minVruntime }
 func (c *Core) now() sim.Time { return c.k.Eng.Now() }
 
 // queued returns the number of threads waiting across all class queues.
-func (c *Core) queued() int {
-	n := 0
-	for _, q := range c.qs {
-		n += q.Len()
-	}
-	return n
-}
+func (c *Core) queued() int { return c.nq }
 
 // stealableQueued returns the number of queued threads that load
 // balancing may migrate.
-func (c *Core) stealableQueued() int {
-	n := 0
-	for i, q := range c.qs {
-		if c.k.classes[i].Stealable() {
-			n += q.Len()
-		}
-	}
-	return n
-}
+func (c *Core) stealableQueued() int { return c.nsteal }
 
 // hasCompetitor reports whether any queued thread could actually
 // displace t at a pick: threads in classes ranked at or above t's
@@ -86,9 +100,12 @@ func (c *Core) stealableQueued() int {
 // burning timer IRQs and inflating the preemption counters — only to be
 // re-picked immediately.
 func (c *Core) hasCompetitor(t *Thread) bool {
+	if c.nq == 0 {
+		return false
+	}
 	rank := t.class.Rank()
-	for i, q := range c.qs {
-		if c.k.classes[i].Rank() <= rank && q.Len() > 0 {
+	for i, n := range c.qlen {
+		if n > 0 && c.k.classRank[i] <= rank {
 			return true
 		}
 	}
@@ -102,14 +119,20 @@ func (c *Core) enqueue(t *Thread) {
 	t.queuedOn = c.id
 	c.k.rrSeq++
 	t.rqSeq = c.k.rrSeq
-	c.qs[t.class.slot()].Enqueue(t)
+	slot := t.class.slot()
+	c.qs[slot].Enqueue(t)
+	c.noteAdded(slot)
 	c.armPreempt()
 }
 
 // removeQueued pulls a runnable thread out of its queue (exit, affinity
-// change, steal).
+// change, steal). The counters track only removals that actually
+// happened — Dequeue of an absent thread must not desync them.
 func (c *Core) removeQueued(t *Thread) {
-	c.qs[t.class.slot()].Dequeue(t)
+	slot := t.class.slot()
+	if c.qs[slot].Dequeue(t) {
+		c.noteRemoved(slot)
+	}
 }
 
 // armPreempt ensures a slice-expiry timer is pending while the current
@@ -133,17 +156,21 @@ func (c *Core) armPreempt() {
 		end = c.now()
 	}
 	c.sliceEnd = end
-	if c.preemptEv != nil {
+	if c.preemptEv.Active() {
 		if c.preemptEv.When() <= end {
 			return // existing timer fires at or before the new end
 		}
 		c.preemptEv.Cancel()
 	}
-	c.preemptEv = c.k.Eng.At(end, c.onPreemptTimer)
+	c.preemptEv = c.k.Eng.AtFunc(end, corePreemptTimer, c)
 }
 
+// corePreemptTimer is the slice-expiry callback shared by every core, so
+// arming a preemption timer allocates nothing.
+func corePreemptTimer(arg any) { arg.(*Core).onPreemptTimer() }
+
 func (c *Core) onPreemptTimer() {
-	c.preemptEv = nil
+	c.preemptEv = sim.Event{}
 	t := c.curr
 	if t == nil || !c.hasCompetitor(t) {
 		return
@@ -229,10 +256,8 @@ func (c *Core) stopCurrent() {
 	if t.seg != nil && t.seg.running {
 		t.seg.advance(now)
 		c.k.bw.deregister(c, t)
-		if t.seg.endEv != nil {
-			t.seg.endEv.Cancel()
-			t.seg.endEv = nil
-		}
+		t.seg.endEv.Cancel()
+		t.seg.endEv = sim.Event{}
 		t.seg.running = false
 	}
 	c.accountOff(t)
@@ -240,10 +265,8 @@ func (c *Core) stopCurrent() {
 	t.curCore = -1
 	t.needResched = false
 	c.curr = nil
-	if c.preemptEv != nil {
-		c.preemptEv.Cancel()
-		c.preemptEv = nil
-	}
+	c.preemptEv.Cancel()
+	c.preemptEv = sim.Event{}
 }
 
 // undispatch is stopCurrent for threads leaving the runnable set (block,
@@ -271,8 +294,15 @@ func (c *Core) accountOff(t *Thread) {
 // class queues in rank order, or nil. Used by the yield path to
 // implement skip-buddy picking.
 func (c *Core) popNext() *Thread {
-	for _, q := range c.qs {
+	if c.nq == 0 {
+		return nil
+	}
+	for i, q := range c.qs {
+		if c.qlen[i] == 0 {
+			continue
+		}
 		if t := q.Pick(); t != nil {
+			c.noteRemoved(i)
 			return t
 		}
 	}
@@ -380,7 +410,7 @@ func (c *Core) onSegmentEnd(t *Thread) {
 	t.seg.advance(c.now())
 	c.k.bw.deregister(c, t)
 	t.seg.running = false
-	t.seg.endEv = nil
+	t.seg.endEv = sim.Event{}
 	t.seg = nil
 	c.k.Eng.Ready(t.proc)
 }
@@ -520,10 +550,11 @@ func (k *Kernel) stealFor(c *Core) *Thread {
 		return nil
 	}
 	for i, q := range busiest.qs {
-		if !k.classes[i].Stealable() {
+		if !k.stealableSlot[i] || busiest.qlen[i] == 0 {
 			continue
 		}
 		if t := q.Steal(c.id); t != nil {
+			busiest.noteRemoved(i)
 			k.Stats.Steals++
 			return t
 		}
@@ -535,17 +566,21 @@ func (k *Kernel) stealFor(c *Core) *Thread {
 // invoked from dispatch, so the balancer runs only while the machine has
 // work; otherwise the event queue can drain and the simulation terminate.
 func (k *Kernel) armBalance() {
-	if k.Params.BalanceInterval <= 0 || k.balanceEv != nil {
+	if k.Params.BalanceInterval <= 0 || k.balanceEv.Active() {
 		return
 	}
-	k.balanceEv = k.Eng.After(k.Params.BalanceInterval, k.periodicBalance)
+	k.balanceEv = k.Eng.AfterFunc(k.Params.BalanceInterval, kernelBalance, k)
 }
+
+// kernelBalance is the periodic-balance callback shared by every kernel,
+// so arming the balancer allocates nothing.
+func kernelBalance(arg any) { arg.(*Kernel).periodicBalance() }
 
 // periodicBalance is the simplified periodic load balancer: it moves
 // queued threads of stealable classes from the most to the least loaded
 // cores.
 func (k *Kernel) periodicBalance() {
-	k.balanceEv = nil
+	k.balanceEv = sim.Event{}
 	if k.TotalRunnable() > 0 {
 		k.armBalance()
 	}
@@ -572,10 +607,11 @@ func (k *Kernel) periodicBalance() {
 		}
 		var victim *Thread
 		for i, q := range src.qs {
-			if !k.classes[i].Stealable() {
+			if !k.stealableSlot[i] || src.qlen[i] == 0 {
 				continue
 			}
 			if t := q.Steal(dst.id); t != nil {
+				src.noteRemoved(i)
 				victim = t
 				break
 			}

@@ -62,7 +62,7 @@ type segment struct {
 	speed      float64 // current effective speed (bandwidth scaling)
 	lastUpdate sim.Time
 	running    bool
-	endEv      *sim.Event
+	endEv      sim.Event
 }
 
 func (s *segment) total() float64 { return s.penalty + s.remaining }
@@ -106,7 +106,11 @@ type Thread struct {
 	curCore  int // core we are current on, -1 otherwise
 	lastCore int // last core we ran on, -1 if never
 
-	seg            *segment
+	seg *segment
+	// segBuf is the reusable storage behind seg: a thread runs at most
+	// one compute segment at a time and nothing retains *segment past
+	// completion, so Compute recycles this buffer instead of allocating.
+	segBuf         segment
 	pendingPenalty sim.Duration // dispatch cost charged to the next segment
 	needResched    bool         // self-preempt at the next scheduling point
 
@@ -116,13 +120,24 @@ type Thread struct {
 	queuedOn     int    // core whose runqueue holds us while Runnable
 	sleeperWake  bool   // wake came from a sleep (sleeper fairness bonus)
 
-	sleepEv *sim.Event // pending sleep/timeout wakeup
-	yieldEv *sim.Event // deferred lazy-yield switch (next tick)
+	sleepEv sim.Event // pending sleep/timeout wakeup
+	yieldEv sim.Event // deferred lazy-yield switch (next tick)
 	waitsOn *Futex
+	// timeoutFutex and futexTimedOut carry a futex wait's timeout state
+	// so the timer needs no per-wait closure: timeoutFutex remembers
+	// which futex the pending sleepEv was armed for, futexTimedOut is
+	// how the fired timer reports WaitTimedOut back to Wait.
+	timeoutFutex  *Futex
+	futexTimedOut bool
 
 	// CPUTime accumulates wall time spent current on a core.
 	CPUTime sim.Duration
-	// Local carries upper-layer per-thread state (glibc pthread, nOS-V
+	// TLS is the dominant per-thread upper-layer binding (the glibc
+	// pthread state), promoted out of Local to a typed slot because it
+	// is read on every simulated libc call. Rarer per-thread state goes
+	// in Local.
+	TLS any
+	// Local carries additional upper-layer per-thread state (nOS-V
 	// worker, runtime TLS), keyed by subsystem name.
 	Local map[string]any
 }
@@ -191,7 +206,7 @@ func (k *Kernel) SpawnThread(p *Process, name string, fn func(t *Thread)) *Threa
 		defer k.exitThread(t)
 		fn(t)
 	})
-	k.threadOfProc[t.proc] = t
+	t.proc.Data = t
 	k.wake(t, false)
 	return t
 }
@@ -227,7 +242,8 @@ func (t *Thread) ComputeOpts(d sim.Duration, o ComputeOpts) {
 	if d < 0 {
 		d = 0
 	}
-	seg := &segment{
+	seg := &t.segBuf
+	*seg = segment{
 		remaining: float64(d),
 		bw:        o.BW,
 		footprint: o.Footprint,
@@ -283,37 +299,41 @@ func (t *Thread) Yield() {
 	// yields within a tick collapse into one deferred switch. This is
 	// the residual busy-wait cost the Baseline pays even with the
 	// sched_yield barrier patch.
-	if t.yieldEv != nil {
+	if t.yieldEv.Active() {
 		return
 	}
-	tt := t
-	t.yieldEv = k.Eng.After(k.Params.TickInterval, func() {
-		tt.yieldEv = nil
-		if tt.state != ThreadRunning || tt.curCore < 0 {
-			return
-		}
-		c := k.cores[tt.curCore]
-		if c.curr != tt || !c.hasCompetitor(tt) {
-			return
-		}
-		if tt.seg == nil || !tt.seg.running {
-			tt.needResched = true
-			return
-		}
-		c.stopCurrent()
-		// Skip-buddy semantics: the pick following a yield skips the
-		// yielder even though its vruntime is lowest, so a lone
-		// busy-waiter cannot monopolise consecutive picks. Fairness
-		// still brings it back afterwards (CFS does not reduce a
-		// yielder's entitlement).
-		next := c.popNext()
-		c.enqueue(tt)
-		if next != nil {
-			c.dispatch(next)
-		} else {
-			c.scheduleNext()
-		}
-	})
+	t.yieldEv = k.Eng.AfterFunc(k.Params.TickInterval, lazyYieldSwitch, t)
+}
+
+// lazyYieldSwitch is the deferred-yield callback shared by every thread:
+// it performs the switch a lazy sched_yield postponed to the next tick.
+func lazyYieldSwitch(arg any) {
+	t := arg.(*Thread)
+	t.yieldEv = sim.Event{}
+	if t.state != ThreadRunning || t.curCore < 0 {
+		return
+	}
+	c := t.kern.cores[t.curCore]
+	if c.curr != t || !c.hasCompetitor(t) {
+		return
+	}
+	if t.seg == nil || !t.seg.running {
+		t.needResched = true
+		return
+	}
+	c.stopCurrent()
+	// Skip-buddy semantics: the pick following a yield skips the
+	// yielder even though its vruntime is lowest, so a lone
+	// busy-waiter cannot monopolise consecutive picks. Fairness
+	// still brings it back afterwards (CFS does not reduce a
+	// yielder's entitlement).
+	next := c.popNext()
+	c.enqueue(t)
+	if next != nil {
+		c.dispatch(next)
+	} else {
+		c.scheduleNext()
+	}
 }
 
 // Nanosleep blocks the thread for d of virtual time.
@@ -326,18 +346,22 @@ func (t *Thread) Nanosleep(d sim.Duration) {
 		return
 	}
 	k.blockCurrent(t)
-	t.sleepEv = k.Eng.After(d, func() {
-		t.sleepEv = nil
-		k.wake(t, true)
-	})
+	t.sleepEv = k.Eng.AfterFunc(d, sleepWake, t)
 	t.proc.Park()
+}
+
+// sleepWake is the Nanosleep expiry callback shared by every thread.
+func sleepWake(arg any) {
+	t := arg.(*Thread)
+	t.sleepEv = sim.Event{}
+	t.kern.wake(t, true)
 }
 
 // SetAffinity restricts the thread to the given cores. If the thread is
 // running on a core outside the new mask it is migrated at this scheduling
 // point.
 func (t *Thread) SetAffinity(m Mask) {
-	t.affinity = m.Clone()
+	t.affinity = m.CloneInto(t.affinity)
 	k := t.kern
 	switch t.state {
 	case ThreadRunning:
@@ -450,19 +474,15 @@ func (k *Kernel) exitThread(t *Thread) {
 	case ThreadRunnable:
 		k.cores[t.queuedOn].removeQueued(t)
 	case ThreadBlocked:
-		if t.sleepEv != nil {
-			t.sleepEv.Cancel()
-			t.sleepEv = nil
-		}
+		t.sleepEv.Cancel()
+		t.sleepEv = sim.Event{}
 		if t.waitsOn != nil {
 			t.waitsOn.remove(t)
 		}
 	}
-	if t.yieldEv != nil {
-		t.yieldEv.Cancel()
-		t.yieldEv = nil
-	}
+	t.yieldEv.Cancel()
+	t.yieldEv = sim.Event{}
 	t.state = ThreadExited
 	t.seg = nil
-	delete(t.kern.threadOfProc, t.proc)
+	t.proc.Data = nil
 }

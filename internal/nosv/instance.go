@@ -29,9 +29,10 @@ type Instance struct {
 	Key    string
 	policy Policy
 
-	slots    []*Task // current task per core, nil = idle slot
-	procs    map[kernel.Pid]*procConn
-	nextTask int
+	slots     []*Task       // current task per core, nil = idle slot
+	coreMasks []kernel.Mask // single-core pin masks, built once per instance
+	procs     map[kernel.Pid]*procConn
+	nextTask  int
 
 	uid, gid int // credentials of the segment creator
 
@@ -57,13 +58,17 @@ func OpenSegment(k *kernel.Kernel, key string, proc *kernel.Process, mkPolicy fu
 	in, ok := reg[key]
 	if !ok {
 		in = &Instance{
-			K:      k,
-			Key:    key,
-			policy: mkPolicy(),
-			slots:  make([]*Task, k.NumCores()),
-			procs:  make(map[kernel.Pid]*procConn),
-			uid:    proc.UID,
-			gid:    proc.GID,
+			K:         k,
+			Key:       key,
+			policy:    mkPolicy(),
+			slots:     make([]*Task, k.NumCores()),
+			coreMasks: make([]kernel.Mask, k.NumCores()),
+			procs:     make(map[kernel.Pid]*procConn),
+			uid:       proc.UID,
+			gid:       proc.GID,
+		}
+		for c := range in.coreMasks {
+			in.coreMasks[c] = kernel.NewMask(c)
 		}
 		in.policy.Bind(in)
 		reg[key] = in
@@ -171,10 +176,8 @@ func (in *Instance) Submit(t *Task) {
 	if t.state == TaskReady || t.state == TaskRunning || t.state == TaskDone {
 		return
 	}
-	if t.waitEv != nil {
-		t.waitEv.Cancel()
-		t.waitEv = nil
-	}
+	t.waitEv.Cancel()
+	t.waitEv = sim.Event{}
 	in.Stats.Submits++
 	t.state = TaskReady
 	if core := in.policy.Ready(t, false); core >= 0 {
@@ -204,15 +207,21 @@ func (in *Instance) Waitfor(t *Task, d sim.Duration) (early bool) {
 	t.state = TaskBlocked
 	w := t.worker
 	w.parkF.Word = 1
-	fired := false
-	t.waitEv = in.K.Eng.After(d, func() {
-		fired = true
-		t.waitEv = nil
-		in.Submit(t)
-	})
+	t.waitFired = false
+	t.waitEv = in.K.Eng.AfterFunc(d, waitforExpire, t)
 	in.releaseCore(t.prefCore, t)
 	in.ParkWorker(w)
-	return !fired
+	return !t.waitFired
+}
+
+// waitforExpire is the nosv_waitfor timeout callback shared by every
+// task, so timed pauses (nanosleep, timed condvar waits, poll loops)
+// allocate nothing per arm.
+func waitforExpire(arg any) {
+	t := arg.(*Task)
+	t.waitFired = true
+	t.waitEv = sim.Event{}
+	t.inst.Submit(t)
 }
 
 // Yield implements nosv_yield: the task requeues behind its siblings and
@@ -333,7 +342,7 @@ func (in *Instance) place(t *Task, core int) {
 	t.prefCore = core
 	in.Stats.Placements++
 	w := t.worker
-	w.KT.SetAffinity(kernel.NewMask(core))
+	w.KT.SetAffinity(in.coreMasks[core])
 	w.parkF.Word = 0
 	w.parkF.Wake(1)
 }

@@ -53,8 +53,10 @@ type Task struct {
 	prefCore int
 	// queuedAt is policy-owned bookkeeping (which queue holds the task).
 	queuedAt int
-	// waitEv is the pending nosv_waitfor timer.
-	waitEv *sim.Event
+	// waitEv is the pending nosv_waitfor timer; waitFired is how the
+	// fired timer reports back to Waitfor without a per-call closure.
+	waitEv    sim.Event
+	waitFired bool
 
 	// Label annotates traces and debugging output.
 	Label string

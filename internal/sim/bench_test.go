@@ -1,0 +1,134 @@
+// Engine microbenchmarks isolating the discrete-event hot paths the
+// end-to-end figure benchmarks sit on: timer churn (schedule + fire),
+// cancel-heavy timer traffic (futex timeouts, slice renewals), and the
+// proc park/resume ping-pong behind every simulated context switch.
+// All report allocations: the pooled closure-free paths are expected to
+// allocate nothing in steady state.
+package sim
+
+import "testing"
+
+// BenchmarkTimerChurn measures the closure-free schedule/fire cycle: one
+// future timer per iteration, drained in batches.
+func BenchmarkTimerChurn(b *testing.B) {
+	e := NewEngine(1)
+	nop := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for n := 0; n < b.N; n += batch {
+		for i := 0; i < batch; i++ {
+			e.AfterFunc(Duration(i%97), nop, nil)
+		}
+		if _, err := e.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimerChurnClosure is the closure path (Engine.After) for
+// comparison: it pays one closure allocation per event.
+func BenchmarkTimerChurnClosure(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for n := 0; n < b.N; n += batch {
+		for i := 0; i < batch; i++ {
+			e.After(Duration(i%97), func() {})
+		}
+		if _, err := e.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimerImmediate measures the same-instant ring path (the
+// resume-event pattern: every park/dispatch schedules one of these).
+func BenchmarkTimerImmediate(b *testing.B) {
+	e := NewEngine(1)
+	nop := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const batch = 1024
+	for n := 0; n < b.N; n += batch {
+		for i := 0; i < batch; i++ {
+			e.AfterFunc(0, nop, nil)
+		}
+		if _, err := e.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCancelHeavy models timeout-style traffic: timers that are
+// almost always cancelled before firing (futex timeouts, RR slice
+// renewals, load.Limiter deadlines). One schedule + cancel per
+// iteration against a standing population of pending timers.
+func BenchmarkCancelHeavy(b *testing.B) {
+	e := NewEngine(1)
+	nop := func(any) {}
+	// Standing population of future timers the cancelled ones must be
+	// removed from between.
+	for i := 0; i < 1024; i++ {
+		e.AfterFunc(Duration(1000+i), nop, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ev := e.AfterFunc(Duration(500+n%400), nop, nil)
+		ev.Cancel()
+	}
+	b.StopTimer()
+	if _, err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkParkResumePingPong measures the full proc context-switch
+// machinery: two procs alternately readying each other, so every
+// iteration is two park/dispatch cycles (four goroutine handoffs).
+func BenchmarkParkResumePingPong(b *testing.B) {
+	e := NewEngine(1)
+	var a, c *Proc
+	rounds := 0
+	a = e.Spawn("a", func(p *Proc) {
+		for rounds < b.N {
+			e.Ready(c)
+			p.Park()
+		}
+	})
+	c = e.Spawn("c", func(p *Proc) {
+		for rounds < b.N {
+			rounds++
+			e.Ready(a)
+			p.Park()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Ready(a)
+	// The first proc to observe rounds >= b.N exits with the other
+	// parked, so RunAll reports the expected deadlock; KillAll releases
+	// the survivor.
+	_, _ = e.RunAll()
+	b.StopTimer()
+	e.KillAll()
+}
+
+// BenchmarkProcSleep measures the sleep path: timer + resume event per
+// iteration.
+func BenchmarkProcSleep(b *testing.B) {
+	e := NewEngine(1)
+	p := e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(10)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Ready(p)
+	if _, err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -12,6 +12,18 @@ type Engine struct {
 	heap eventHeap
 	seq  uint64
 	rng  *Rand
+	free []*event // recycled event storage; steady-state At allocates nothing
+
+	// imm is the immediate ring: events scheduled for the current
+	// instant (proc resumes, After(0) chains). Because the clock never
+	// runs backwards and seq increases, these arrive already sorted by
+	// (at, seq), so they bypass the heap entirely — an O(1) ring instead
+	// of O(log n) sifts for roughly half of all event traffic. peekNext
+	// merges the ring head with the heap head by (at, seq), preserving
+	// the exact global firing order.
+	imm     []*event
+	immHead int
+	immDead int // cancelled ring entries awaiting drop at peek
 
 	cur     *Proc
 	back    chan struct{} // procs hand control back to the driver here
@@ -37,24 +49,88 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns an independent RNG stream for the given label.
 func (e *Engine) Rand(label string) *Rand { return e.rng.Stream(label) }
 
-// At schedules fn to run at virtual time t (>= now). It returns the event,
-// which may be cancelled.
-func (e *Engine) At(t Time, fn func()) *Event {
+// alloc takes an event from the free list (or allocates one), stamping
+// it with the clamped time and the next sequence number.
+func (e *Engine) alloc(t Time) *event {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, idx: -1}
-	e.heap.push(ev)
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{eng: e}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.dead = false
 	return ev
 }
 
+// invalidate retires an event's callbacks and outstanding handles
+// (generation bump) without touching its queue linkage.
+func (e *Engine) invalidate(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+}
+
+// recycle returns invalidated, unlinked event storage to the free list.
+func (e *Engine) recycle(ev *event) {
+	ev.idx = idxFree
+	e.free = append(e.free, ev)
+}
+
+// enqueue routes a freshly allocated event to the immediate ring (events
+// for the current instant) or the heap (future events).
+func (e *Engine) enqueue(ev *event) {
+	if ev.at == e.now {
+		ev.idx = idxImm
+		e.imm = append(e.imm, ev)
+		return
+	}
+	e.heap.push(ev)
+}
+
+// At schedules fn to run at virtual time t (>= now). It returns a handle
+// that may be used to cancel the event.
+func (e *Engine) At(t Time, fn func()) Event {
+	ev := e.alloc(t)
+	ev.fn = fn
+	e.enqueue(ev)
+	return Event{e: ev, gen: ev.gen}
+}
+
+// AtFunc schedules fn(arg) to run at virtual time t (>= now). It is the
+// closure-free counterpart of At: hot call sites pass a long-lived
+// function and the receiver as arg, so scheduling allocates nothing.
+func (e *Engine) AtFunc(t Time, fn func(any), arg any) Event {
+	ev := e.alloc(t)
+	ev.afn = fn
+	ev.arg = arg
+	e.enqueue(ev)
+	return Event{e: ev, gen: ev.gen}
+}
+
 // After schedules fn to run d from now.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now.Add(d), fn)
+}
+
+// AfterFunc schedules fn(arg) to run d from now, without allocating a
+// closure.
+func (e *Engine) AfterFunc(d Duration, fn func(any), arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtFunc(e.now.Add(d), fn, arg)
 }
 
 // Live reports the number of procs that have been spawned and not yet
@@ -62,8 +138,12 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 // indicates a deadlock in the simulated system.
 func (e *Engine) Live() int { return e.live }
 
-// Pending reports the number of queued (possibly cancelled) events.
-func (e *Engine) Pending() int { return e.heap.len() }
+// Pending reports the number of queued events. Cancelled events never
+// count: heap events are removed eagerly, ring events are invalidated at
+// cancel and excluded here.
+func (e *Engine) Pending() int {
+	return e.heap.len() + (len(e.imm) - e.immHead) - e.immDead
+}
 
 // Stop makes Run return after the current event completes. The request
 // is sticky until a Run call consumes it: a Stop issued while no Run is
@@ -71,25 +151,84 @@ func (e *Engine) Pending() int { return e.heap.len() }
 // immediately, at its current time, without processing any events.
 func (e *Engine) Stop() { e.stopped = true }
 
+// peekNext returns the next event to fire — the smaller of the ring and
+// heap heads by (at, seq) — or nil when no live event remains. Dead
+// (cancelled) ring entries reaching the head are dropped here.
+func (e *Engine) peekNext() *event {
+	for e.immHead < len(e.imm) {
+		iv := e.imm[e.immHead]
+		if !iv.dead {
+			break
+		}
+		e.imm[e.immHead] = nil
+		e.immHead++
+		e.immDead--
+		e.recycle(iv)
+	}
+	if e.immHead == len(e.imm) && len(e.imm) > 0 {
+		e.imm = e.imm[:0]
+		e.immHead = 0
+	}
+	hv := e.heap.peek()
+	if e.immHead == len(e.imm) {
+		return hv
+	}
+	iv := e.imm[e.immHead]
+	if hv != nil && (hv.at < iv.at || (hv.at == iv.at && hv.seq < iv.seq)) {
+		return hv
+	}
+	return iv
+}
+
+// unlink removes a queued event from whichever structure holds it. ev
+// must be the ring head when it is a ring entry (as returned by
+// peekNext).
+func (e *Engine) unlink(ev *event) {
+	if ev.idx == idxImm {
+		e.imm[e.immHead] = nil
+		e.immHead++
+		ev.idx = idxFree
+		return
+	}
+	e.heap.remove(ev)
+}
+
+// fire pops the head event and runs its callback, recycling the storage
+// first so the callback itself may schedule (and the pool may reuse) it.
+func (e *Engine) fire(ev *event) {
+	e.unlink(ev)
+	e.now = ev.at
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	e.invalidate(ev)
+	e.recycle(ev)
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+}
+
 // Run processes events until the queue drains, the horizon passes, or Stop
 // is called. It returns the time at which processing stopped and an error
 // if the simulated system deadlocked (no events left but live procs
 // remain parked). A Run cut short by Stop consumes the stop request;
 // calling Run again resumes event processing.
 func (e *Engine) Run(until Time) (Time, error) {
-	for !e.stopped && e.heap.len() > 0 {
-		ev := e.heap.pop()
-		if ev.canceled {
-			continue
+	for !e.stopped {
+		ev := e.peekNext()
+		if ev == nil {
+			break
 		}
 		if ev.at > until {
-			// Leave the event for a later Run call.
-			e.heap.push(ev)
-			e.now = until
+			// Leave the event queued, untouched, for a later Run call.
+			// The clock only moves forward: a horizon in the past
+			// returns immediately at the current time.
+			if until > e.now {
+				e.now = until
+			}
 			return e.now, nil
 		}
-		e.now = ev.at
-		ev.fn()
+		e.fire(ev)
 		if e.panicVal != nil {
 			panic(e.panicVal)
 		}

@@ -1,36 +1,96 @@
 package sim
 
-// Event is a scheduled callback in virtual time. Events are created through
-// Engine.At / Engine.After and may be cancelled before they fire.
+// event is the pooled storage behind a scheduled callback. Events are
+// owned by the engine: they are allocated from a free list in At/AtFunc,
+// returned to it when they fire or are cancelled, and identified across
+// reuse by a generation counter. User code never sees *event — it holds
+// an Event handle, which pairs the pointer with the generation it was
+// issued for, so a stale handle (fired or cancelled) is always inert.
+type event struct {
+	at  Time
+	seq uint64 // insertion order; total tie-break for determinism
+	gen uint64 // bumped on release; stale handles compare unequal
+
+	// Exactly one of fn/afn is set. afn+arg is the closure-free path:
+	// hot call sites pass a long-lived func and the receiver as arg, so
+	// steady-state scheduling allocates nothing.
+	fn  func()
+	afn func(any)
+	arg any
+
+	eng  *Engine
+	idx  int  // heap index, idxImm in the immediate ring, idxFree otherwise
+	dead bool // cancelled while in the immediate ring; dropped at peek
+}
+
+// Sentinel idx values for events outside the heap.
+const (
+	idxFree = -1 // not queued (free, fired, or cancelled)
+	idxImm  = -2 // queued in the engine's immediate ring
+)
+
+// Event is a cancellable handle to a scheduled callback. The zero Event
+// is inert: Cancel is a no-op and Active reports false. Handles stay
+// safe after the event fires — the underlying storage is recycled, but
+// the generation check makes operations on a stale handle no-ops.
 type Event struct {
-	at       Time
-	seq      uint64 // insertion order; total tie-break for determinism
-	fn       func()
-	idx      int // heap index, -1 when not queued
-	canceled bool
+	e   *event
+	gen uint64
+}
+
+// Active reports whether the event is still queued: not yet fired and
+// not cancelled.
+func (ev Event) Active() bool {
+	return ev.e != nil && ev.e.gen == ev.gen && ev.e.idx != idxFree
 }
 
 // When returns the virtual time at which the event is scheduled to fire.
-func (e *Event) When() Time { return e.at }
+// It is meaningful only while the event is Active; otherwise it returns
+// -1.
+func (ev Event) When() Time {
+	if !ev.Active() {
+		return -1
+	}
+	return ev.e.at
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. Cancel is O(log n).
-func (e *Event) Cancel() {
-	if e == nil || e.canceled || e.idx < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+// Cancel removes the event from the queue so it never fires. Cancelling
+// an already-fired, already-cancelled, or zero Event is a no-op. Cancel
+// is O(log n): the event is eagerly unlinked from the heap and its
+// storage recycled, so cancel-heavy workloads (timeouts that rarely
+// expire) do not drag dead events through the queue.
+func (ev Event) Cancel() {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.idx == idxFree {
 		return
 	}
-	e.canceled = true
+	eng := e.eng
+	if e.idx == idxImm {
+		// Ring entries cannot be unlinked in O(1); mark the event dead
+		// (invalidated, so handles and callbacks are gone) and let peek
+		// drop the storage when it reaches the head.
+		e.dead = true
+		eng.immDead++
+		eng.invalidate(e)
+		return
+	}
+	eng.heap.remove(e)
+	eng.invalidate(e)
+	eng.recycle(e)
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq). We implement it by
-// hand rather than via container/heap to avoid interface boxing on the hot
-// path; the simulator pushes and pops millions of events per run.
+// eventHeap is an indexed 4-ary min-heap ordered by (at, seq). It is
+// implemented by hand rather than via container/heap to avoid interface
+// boxing on the hot path — the simulator pushes and pops millions of
+// events per run — and 4-ary because the shallower tree roughly halves
+// the swap chain of a pop at these queue sizes. Events track their index
+// so arbitrary removal (Cancel) is O(log n).
 type eventHeap struct {
-	ev []*Event
+	ev []*event
 }
+
+// heapArity is the fan-out of the event heap.
+const heapArity = 4
 
 func (h *eventHeap) len() int { return len(h.ev) }
 
@@ -42,57 +102,94 @@ func (h *eventHeap) less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (h *eventHeap) swap(i, j int) {
-	h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
-	h.ev[i].idx = i
-	h.ev[j].idx = j
-}
-
-func (h *eventHeap) push(e *Event) {
+func (h *eventHeap) push(e *event) {
 	e.idx = len(h.ev)
 	h.ev = append(h.ev, e)
 	h.up(e.idx)
 }
 
-func (h *eventHeap) pop() *Event {
+// peek returns the earliest event without removing it, or nil.
+func (h *eventHeap) peek() *event {
+	if len(h.ev) == 0 {
+		return nil
+	}
+	return h.ev[0]
+}
+
+func (h *eventHeap) pop() *event {
+	e := h.ev[0]
 	n := len(h.ev) - 1
-	h.swap(0, n)
-	e := h.ev[n]
+	last := h.ev[n]
 	h.ev[n] = nil
 	h.ev = h.ev[:n]
+	e.idx = idxFree
 	if n > 0 {
+		h.ev[0] = last
+		last.idx = 0
 		h.down(0)
 	}
-	e.idx = -1
 	return e
 }
 
+// remove unlinks a queued event from an arbitrary position.
+func (h *eventHeap) remove(e *event) {
+	i := e.idx
+	n := len(h.ev) - 1
+	last := h.ev[n]
+	h.ev[n] = nil
+	h.ev = h.ev[:n]
+	e.idx = idxFree
+	if i < n {
+		h.ev[i] = last
+		last.idx = i
+		h.down(i)
+		h.up(i)
+	}
+}
+
 func (h *eventHeap) up(i int) {
+	e := h.ev[i]
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		parent := (i - 1) / heapArity
+		p := h.ev[parent]
+		if e.at > p.at || (e.at == p.at && e.seq > p.seq) {
 			break
 		}
-		h.swap(i, parent)
+		h.ev[i] = p
+		p.idx = i
 		i = parent
 	}
+	h.ev[i] = e
+	e.idx = i
 }
 
 func (h *eventHeap) down(i int) {
 	n := len(h.ev)
+	e := h.ev[i]
 	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && h.less(l, small) {
-			small = l
+		first := heapArity*i + 1
+		if first >= n {
+			break
 		}
-		if r < n && h.less(r, small) {
-			small = r
+		end := first + heapArity
+		if end > n {
+			end = n
 		}
-		if small == i {
-			return
+		small := first
+		s := h.ev[first]
+		for c := first + 1; c < end; c++ {
+			x := h.ev[c]
+			if x.at < s.at || (x.at == s.at && x.seq < s.seq) {
+				small, s = c, x
+			}
 		}
-		h.swap(i, small)
+		if e.at < s.at || (e.at == s.at && e.seq < s.seq) {
+			break
+		}
+		h.ev[i] = s
+		s.idx = i
 		i = small
 	}
+	h.ev[i] = e
+	e.idx = i
 }

@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkInvariants verifies the heap property, index bookkeeping, and the
+// sortedness of the immediate ring.
+func checkInvariants(t *testing.T, e *Engine) {
+	t.Helper()
+	h := &e.heap
+	for i, ev := range h.ev {
+		if ev.idx != i {
+			t.Fatalf("heap[%d].idx = %d", i, ev.idx)
+		}
+		if i > 0 {
+			parent := (i - 1) / heapArity
+			if h.less(i, parent) {
+				t.Fatalf("heap property violated at %d: (%d,%d) < parent (%d,%d)",
+					i, ev.at, ev.seq, h.ev[parent].at, h.ev[parent].seq)
+			}
+		}
+	}
+	for i := e.immHead; i < len(e.imm); i++ {
+		ev := e.imm[i]
+		if ev.idx != idxImm {
+			t.Fatalf("imm[%d].idx = %d, want %d", i, ev.idx, idxImm)
+		}
+		if i > e.immHead {
+			prev := e.imm[i-1]
+			if ev.at < prev.at || (ev.at == prev.at && ev.seq < prev.seq) {
+				t.Fatalf("imm ring unsorted at %d: (%d,%d) after (%d,%d)",
+					i, ev.at, ev.seq, prev.at, prev.seq)
+			}
+		}
+	}
+}
+
+// TestCancelHeavyInterleavings drives a deterministic random mix of
+// schedules and cancels — from outside and from inside callbacks, on
+// queued, fired, and already-cancelled events — checking heap/ring
+// invariants after every mutation and the firing order at the end.
+func TestCancelHeavyInterleavings(t *testing.T) {
+	rng := NewRand(1234)
+	e := NewEngine(1)
+	var handles []Event
+	var fired []Time
+	for round := 0; round < 50; round++ {
+		for op := 0; op < 40; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // schedule a future or same-time event
+				d := Duration(rng.Intn(100))
+				handles = append(handles, e.After(d, func() { fired = append(fired, e.Now()) }))
+			case 2: // cancel a random handle (may be stale or double-cancel)
+				if len(handles) > 0 {
+					handles[rng.Intn(len(handles))].Cancel()
+				}
+			case 3: // schedule an event that cancels another from a callback
+				if len(handles) > 0 {
+					victim := handles[rng.Intn(len(handles))]
+					d := Duration(rng.Intn(100))
+					handles = append(handles, e.After(d, func() {
+						victim.Cancel()
+						fired = append(fired, e.Now())
+					}))
+				}
+			}
+			checkInvariants(t, e)
+		}
+		if _, err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, e)
+		if e.Pending() != 0 {
+			t.Fatalf("round %d: %d events still pending after RunAll", round, e.Pending())
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				t.Fatalf("events fired out of order: %v after %v", fired[i], fired[i-1])
+			}
+		}
+		fired = fired[:0]
+		handles = handles[:0]
+	}
+}
+
+// TestCancelIsEager verifies the documented O(log n) behaviour: a
+// cancelled event leaves the queue immediately instead of lingering
+// until popped.
+func TestCancelIsEager(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]Event, 100)
+	for i := range evs {
+		evs[i] = e.At(Time(10+i), func() {})
+	}
+	if got := e.Pending(); got != 100 {
+		t.Fatalf("Pending = %d, want 100", got)
+	}
+	for i, ev := range evs {
+		if i%2 == 0 {
+			ev.Cancel()
+		}
+	}
+	if got := e.Pending(); got != 50 {
+		t.Fatalf("Pending after cancelling half = %d, want 50 (cancel must be eager)", got)
+	}
+	checkInvariants(t, e)
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelAfterFireIsInert exercises the generation counters: once an
+// event fires, its storage is recycled, and a stale handle must never
+// cancel the event that now occupies the storage.
+func TestCancelAfterFireIsInert(t *testing.T) {
+	e := NewEngine(1)
+	first := e.At(1, func() {})
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if first.Active() {
+		t.Fatal("fired event still Active")
+	}
+	secondFired := false
+	second := e.At(2, func() { secondFired = true })
+	// The pool almost certainly handed At the recycled storage; the
+	// stale handle must be inert regardless.
+	first.Cancel()
+	if !second.Active() {
+		t.Fatal("stale Cancel deactivated a recycled event")
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !secondFired {
+		t.Fatal("stale Cancel suppressed a recycled event")
+	}
+}
+
+// TestCancelOwnFiringEvent checks that a callback cancelling the very
+// event that is firing is a harmless no-op.
+func TestCancelOwnFiringEvent(t *testing.T) {
+	e := NewEngine(1)
+	var self Event
+	count := 0
+	self = e.At(1, func() {
+		count++
+		self.Cancel()
+	})
+	e.At(2, func() { count++ })
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+// TestZeroEventInert checks the zero Event handle.
+func TestZeroEventInert(t *testing.T) {
+	var ev Event
+	ev.Cancel() // must not panic
+	if ev.Active() {
+		t.Fatal("zero Event is Active")
+	}
+	if ev.When() != -1 {
+		t.Fatalf("zero Event When = %v, want -1", ev.When())
+	}
+}
+
+// TestRunSplitIdentical is the horizon regression: Run(t1); Run(t2) must
+// process exactly the same events, in the same order, as a single
+// Run(t2) — hitting the horizon must not disturb event identity.
+func TestRunSplitIdentical(t *testing.T) {
+	build := func() (*Engine, *[]Time) {
+		e := NewEngine(9)
+		var fired []Time
+		rng := NewRand(77)
+		for i := 0; i < 200; i++ {
+			e.At(Time(rng.Intn(100)), func() { fired = append(fired, e.Now()) })
+		}
+		// Self-rescheduling chain crossing the split point.
+		var chain func()
+		chain = func() {
+			fired = append(fired, e.Now())
+			if e.Now() < 90 {
+				e.After(7, chain)
+			}
+		}
+		e.After(3, chain)
+		return e, &fired
+	}
+
+	a, fa := build()
+	if _, err := a.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if now := a.Now(); now != 50 {
+		t.Fatalf("split Run stopped at %v, want 50", now)
+	}
+	if _, err := a.Run(100); err != nil {
+		t.Fatal(err)
+	}
+
+	b, fb := build()
+	if _, err := b.Run(100); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(*fa) != len(*fb) {
+		t.Fatalf("split fired %d events, single fired %d", len(*fa), len(*fb))
+	}
+	for i := range *fa {
+		if (*fa)[i] != (*fb)[i] {
+			t.Fatalf("firing diverged at %d: split %v, single %v", i, (*fa)[i], (*fb)[i])
+		}
+	}
+}
+
+// TestRunHorizonPreservesHandle verifies that an event left behind by a
+// horizon return can still be cancelled through its original handle (the
+// old pop-and-repush implementation kept identity only by accident; peek
+// guarantees it).
+func TestRunHorizonPreservesHandle(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(100, func() { fired = true })
+	if _, err := e.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Active() {
+		t.Fatal("pending event lost its identity across a horizon return")
+	}
+	if ev.When() != 100 {
+		t.Fatalf("When = %v, want 100", ev.When())
+	}
+	ev.Cancel()
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired after horizon split")
+	}
+}
+
+// TestAtFuncDelivery checks the closure-free path end to end, including
+// cancellation.
+func TestAtFuncDelivery(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	ping := func(arg any) { got = append(got, arg.(int)) }
+	e.AtFunc(20, ping, 2)
+	e.AtFunc(10, ping, 1)
+	ev := e.AfterFunc(30, ping, 3)
+	e.AfterFunc(40, ping, 4)
+	ev.Cancel()
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSteadyStateSchedulingDoesNotAllocate pins down the zero-alloc
+// claim outside the benchmark suite: once the pool is warm, a
+// schedule/fire cycle on the closure-free path performs no allocations.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := NewEngine(1)
+	nop := func(any) {}
+	// Warm the pool and the ring/heap backing arrays.
+	for i := 0; i < 100; i++ {
+		e.AfterFunc(Duration(i%7), nop, nil)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.AfterFunc(3, nop, nil)
+		if _, err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire allocates %.1f objects per cycle, want 0", allocs)
+	}
+}
+
+// TestHeapArbitraryRemovalProperty hammers remove() at random positions
+// against the ordering property.
+func TestHeapArbitraryRemovalProperty(t *testing.T) {
+	f := func(times []uint16, cancels []uint8) bool {
+		e := NewEngine(7)
+		var handles []Event
+		for _, tt := range times {
+			handles = append(handles, e.At(Time(tt), func() {}))
+		}
+		for _, c := range cancels {
+			if len(handles) == 0 {
+				break
+			}
+			handles[int(c)%len(handles)].Cancel()
+		}
+		h := &e.heap
+		for i := range h.ev {
+			if h.ev[i].idx != i {
+				return false
+			}
+			if i > 0 && h.less(i, (i-1)/heapArity) {
+				return false
+			}
+		}
+		var last Time = -1
+		for {
+			ev := e.peekNext()
+			if ev == nil {
+				break
+			}
+			if ev.at < last {
+				return false
+			}
+			last = ev.at
+			e.fire(ev)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,11 @@ type Proc struct {
 	ID   int
 	Name string
 
+	// Data is an upper-layer binding slot (e.g. the kernel thread driving
+	// this proc). It replaces side-table map lookups on hot paths; the
+	// engine itself never touches it.
+	Data any
+
 	eng     *Engine
 	resume  chan struct{}
 	state   ProcState
@@ -88,6 +93,20 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
+// dispatchProc is the resume-event callback: a single package-level
+// function shared by every Ready call, so readying a proc allocates no
+// closure.
+func dispatchProc(arg any) {
+	p := arg.(*Proc)
+	p.eng.dispatch(p)
+}
+
+// readyProc is the sleep-expiry callback shared by every Proc.Sleep.
+func readyProc(arg any) {
+	p := arg.(*Proc)
+	p.eng.Ready(p)
+}
+
 // Ready schedules p to resume at the current virtual time (after currently
 // queued same-time events). Calling Ready on an exited or already-readied
 // proc is a no-op. Calling it on the currently running proc is allowed: the
@@ -99,7 +118,7 @@ func (e *Engine) Ready(p *Proc) {
 		return
 	}
 	p.pending = true
-	e.At(e.now, func() { e.dispatch(p) })
+	e.AtFunc(e.now, dispatchProc, p)
 }
 
 // dispatch transfers control to p and blocks until p parks or exits.
@@ -163,13 +182,12 @@ func (e *Engine) KillAll() {
 	}
 	// Drain only the kill resumes: run until no live procs remain or
 	// nothing more fires.
-	for e.live > 0 && e.heap.len() > 0 {
-		ev := e.heap.pop()
-		if ev.canceled {
-			continue
+	for e.live > 0 {
+		ev := e.peekNext()
+		if ev == nil {
+			break
 		}
-		e.now = ev.at
-		ev.fn()
+		e.fire(ev)
 		if e.panicVal != nil {
 			panic(e.panicVal)
 		}
@@ -183,6 +201,6 @@ func (e *Engine) Current() *Proc { return e.cur }
 // Sleep parks the calling proc for d of virtual time. This is a low-level
 // helper for drivers; simulated threads should sleep via their kernel.
 func (p *Proc) Sleep(d Duration) {
-	p.eng.After(d, func() { p.eng.Ready(p) })
+	p.eng.AfterFunc(d, readyProc, p)
 	p.Park()
 }

@@ -186,9 +186,14 @@ func (p *SchedCoop) pickFor(pid kernel.Pid, core int) *nosv.Task {
 	if q == nil {
 		return nil
 	}
+	// pop shifts the queue in place (rather than re-slicing the head
+	// away) so the backing array is stable and enqueue/pick cycles do
+	// not reallocate it.
 	pop := func(c int) *nosv.Task {
 		t := q[c][0]
-		q[c] = q[c][1:]
+		n := copy(q[c], q[c][1:])
+		q[c][n] = nil
+		q[c] = q[c][:n]
 		p.pending[pid]--
 		return t
 	}

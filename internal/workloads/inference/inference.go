@@ -218,10 +218,19 @@ func Run(cfg Config) Result {
 			serialPerBatch := sim.Duration(m.SerialFrac * float64(m.Work) * cfg.Scale / float64(cfg.Batches))
 			parallelPerBatch := sim.Duration((1 - m.SerialFrac) * float64(m.Work) * cfg.Scale / float64(cfg.Batches))
 			var handlers []*glibc.Pthread
+			// Per-request handler names are formatted only when the run
+			// is traced: thread names surface in trace output and panic
+			// messages, and the Sprintf is otherwise pure overhead on
+			// the per-request hot path.
+			reqName := m.Name + "-req"
 			for served := 0; served < cfg.Requests; served++ {
 				req := serverIn[i].Recv().(*request)
+				name := reqName
+				if cfg.Tracer != nil {
+					name = fmt.Sprintf("%s-req%d", m.Name, req.id)
+				}
 				handlers = append(handlers, l.PthreadCreate(
-					fmt.Sprintf("%s-req%d", m.Name, req.id), func() {
+					name, func() {
 						for batch := 0; batch < cfg.Batches; batch++ {
 							gil.Lock()
 							l.Compute(serialPerBatch)
@@ -254,8 +263,12 @@ func Run(cfg Config) Result {
 		var handlers []*glibc.Pthread
 		for n := 0; n < cfg.Requests; n++ {
 			req := gwIn.Recv().(*request)
+			name := "gw-req"
+			if cfg.Tracer != nil {
+				name = fmt.Sprintf("gw-req%d", req.id)
+			}
 			handlers = append(handlers, l.PthreadCreate(
-				fmt.Sprintf("gw-req%d", req.id), func() {
+				name, func() {
 					l.Compute(sim.Duration(float64(cfg.GatewayPlanning) * cfg.Scale))
 					for i := range serverIn {
 						serverIn[i].Send(req)
