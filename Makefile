@@ -8,7 +8,7 @@ BENCHTIME ?= 1x
 # count while the artefact benchmarks stay at one full simulation each.
 SIM_BENCHTIME ?= 100000x
 BENCH     ?= .
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 
 .PHONY: test race bench bench-json quick
 
@@ -16,7 +16,7 @@ test:
 	go build ./... && go test ./...
 
 race:
-	go test -race ./internal/load ./internal/harness ./internal/sim ./internal/kernel
+	go test -race ./internal/load ./internal/harness ./internal/sim ./internal/kernel ./internal/cluster
 
 quick:
 	go run ./cmd/uschedsim all -quick

@@ -10,6 +10,7 @@
 //	uschedsim lammps [-quick]         # Figure 5 (+ bandwidth trace)
 //	uschedsim schedcmp [-quick]       # kernel-scheduler ablation (classes × oversubscription)
 //	uschedsim tailload [-quick]       # tail latency under load (arrival shapes × schemes, SLO knee)
+//	uschedsim cluster [-quick]        # multi-node fleet (routers × schemes × shapes × load)
 //	uschedsim all -quick              # everything, small instances
 //
 // Flags may appear before or after the subcommand:

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/load"
+	"repro/internal/sim"
+)
+
+// benchBackend completes requests after a fixed per-node service time
+// without any simulated processes, so the benchmark isolates the
+// cluster dispatch path: router pick, link accounting, network events,
+// and the end-to-end/per-node meters.
+type benchBackend struct {
+	eng     *sim.Engine
+	service sim.Duration
+	done    func(id int)
+}
+
+func (b *benchBackend) Submit(id int) { b.eng.AfterFunc(b.service, b.fire, id) }
+func (b *benchBackend) fire(arg any)  { b.done(arg.(int)) }
+func (b *benchBackend) Stop()         {}
+
+// benchDispatch routes reqs requests through an 8-node fleet under the
+// given router and runs the engine dry.
+func benchDispatch(b *testing.B, newRouter func() Router) {
+	const nodes, reqs = 8, 2048
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(7)
+		c := New(eng, Config{
+			Net:      Network{RequestLatency: 50 * sim.Microsecond, ReplyLatency: 50 * sim.Microsecond, RequestBytes: 1 << 10, ReplyBytes: 16 << 10, LinkBandwidth: 10},
+			Sessions: 64,
+		}, newRouter())
+		for n := 0; n < nodes; n++ {
+			n := n
+			c.AddNode(nodeName(n), nil, func(done func(id int)) Backend {
+				return &benchBackend{eng: eng, service: sim.Duration(1+n) * sim.Millisecond, done: done}
+			})
+		}
+		c.Serve(&load.Poisson{Rate: 5000}, reqs)
+		if _, err := c.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		if c.Completed() != reqs {
+			b.Fatalf("completed %d of %d", c.Completed(), reqs)
+		}
+	}
+}
+
+func BenchmarkClusterDispatchRoundRobin(b *testing.B) {
+	benchDispatch(b, func() Router { return NewRoundRobin() })
+}
+
+func BenchmarkClusterDispatchLeastOutstanding(b *testing.B) {
+	benchDispatch(b, func() Router { return NewLeastOutstanding() })
+}
+
+func BenchmarkClusterDispatchConsistentHash(b *testing.B) {
+	benchDispatch(b, func() Router { return NewConsistentHash() })
+}

@@ -1,0 +1,316 @@
+// Package cluster turns the simulator from one machine into a fleet: a
+// Cluster owns several named Nodes — each a complete simulated system
+// (stack.System) with its own kernel, glibc, and USF state — on ONE
+// shared discrete-event engine, so a whole multi-node serving estate
+// runs in a single deterministic virtual timeline.
+//
+// Arrivals come from a load.Source, a Router picks the serving node per
+// request, and a Network cost model charges per-hop latency plus
+// optional per-link serialisation. Latency is metered end to end
+// (network + queue + service) on a cluster meter and per node on
+// node-internal meters; node populations aggregate into cluster-wide
+// percentiles by merging their fixed-memory sketches.
+//
+// Determinism: nodes share the engine but not RNG namespaces — each
+// stack.System draws from its own seed (stack.NewOnEngine), routing
+// draws from the engine's "cluster/router" stream, and arrivals from
+// "cluster/client" — so any cluster run is byte-reproducible for any
+// host parallelism.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/load"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// Backend is a node's serving workload: a resident service (e.g.
+// inference.Service) that accepts routed requests and reports each
+// completion through the callback it was constructed with. Stop drains
+// it after the last completion so the shared engine can run dry.
+type Backend interface {
+	// Submit delivers request id to the node. Called in event context at
+	// the simulated instant the request reaches the node.
+	Submit(id int)
+	// Stop drains the backend: all resident service processes exit once
+	// in-flight work finishes.
+	Stop()
+}
+
+// Node is one named machine of the fleet.
+type Node struct {
+	// Name identifies the node (tables, consistent-hash ring).
+	Name string
+	// Sys is the node's fully wired simulated system.
+	Sys *stack.System
+
+	backend Backend
+	// meter measures node-internal latency: arrival at the node to
+	// completion at the node, excluding the network.
+	meter            *load.Meter
+	reqLink, repLink link
+	outstanding      int
+	dispatched       int
+}
+
+// Outstanding returns the node's dispatched-but-unreplied request count
+// (the signal load-aware routers balance on).
+func (n *Node) Outstanding() int { return n.outstanding }
+
+// Dispatched returns how many requests the router sent to this node.
+func (n *Node) Dispatched() int { return n.dispatched }
+
+// Meter returns the node-internal latency meter.
+func (n *Node) Meter() *load.Meter { return n.meter }
+
+// Config parameterises a cluster.
+type Config struct {
+	// Net is the communication cost model.
+	Net Network
+	// SLO is the end-to-end latency objective; node meters judge their
+	// node-internal latencies against it too. Zero disables SLO
+	// accounting.
+	SLO sim.Duration
+	// Sessions is the number of distinct session keys arrivals cycle
+	// through (request id modulo Sessions), the affinity unit for
+	// session-aware routing. Non-positive gives every request its own
+	// session.
+	Sessions int
+}
+
+// flight is one request's routing state, reused across its network hops.
+type flight struct {
+	c    *Cluster
+	id   int
+	node int
+}
+
+// Cluster is a fleet of nodes behind a router on one shared engine.
+type Cluster struct {
+	Eng *sim.Engine
+
+	cfg    Config
+	router Router
+	nodes  []*Node
+	meter  *load.Meter // end-to-end: submission to reply arrival
+	flight map[int]*flight
+
+	src       load.Source
+	total     int
+	completed int
+	served    bool
+}
+
+// New builds an empty cluster on eng. Add nodes, then call Serve.
+func New(eng *sim.Engine, cfg Config, r Router) *Cluster {
+	return &Cluster{
+		Eng:    eng,
+		cfg:    cfg,
+		router: r,
+		meter:  load.NewMeter(cfg.SLO),
+		flight: make(map[int]*flight),
+	}
+}
+
+// Router returns the cluster's routing policy.
+func (c *Cluster) Router() Router { return c.router }
+
+// Nodes returns the fleet in registration order.
+func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
+
+// Meter returns the cluster's end-to-end meter.
+func (c *Cluster) Meter() *load.Meter { return c.meter }
+
+// AddNode registers a node and builds its backend. newBackend receives
+// the completion callback the backend must invoke exactly once per
+// submitted request (at the completion instant, in any context).
+func (c *Cluster) AddNode(name string, sys *stack.System, newBackend func(done func(id int)) Backend) *Node {
+	if c.served {
+		panic("cluster: AddNode after Serve")
+	}
+	for _, n := range c.nodes {
+		if n.Name == name {
+			// Names seed the consistent-hash ring; a duplicate would
+			// silently collapse both nodes onto one arc.
+			panic("cluster: duplicate node name " + name)
+		}
+	}
+	ni := len(c.nodes)
+	n := &Node{Name: name, Sys: sys, meter: load.NewMeter(c.cfg.SLO)}
+	c.nodes = append(c.nodes, n)
+	n.backend = newBackend(func(id int) { c.nodeDone(ni, id) })
+	return n
+}
+
+// session maps a request id to its session key.
+func (c *Cluster) session(id int) uint64 {
+	if c.cfg.Sessions > 0 {
+		return uint64(id % c.cfg.Sessions)
+	}
+	return uint64(id)
+}
+
+// Serve starts the arrival process: n requests from src are routed into
+// the fleet. Call once, after every AddNode; then drive the engine with
+// Run.
+func (c *Cluster) Serve(src load.Source, n int) {
+	if c.served {
+		panic("cluster: Serve called twice")
+	}
+	if len(c.nodes) == 0 {
+		panic("cluster: Serve with no nodes")
+	}
+	c.served = true
+	c.src = src
+	c.total = n
+	c.router.Bind(c, c.Eng.Rand("cluster/router"))
+	src.Start(c.Eng, c.Eng.Rand("cluster/client"), n, c.submit)
+}
+
+// submit routes one arrival: meter it, pick the node, and send the
+// request across the node's link.
+func (c *Cluster) submit(id int) {
+	now := c.Eng.Now()
+	c.meter.Submitted(id, now)
+	ni := c.router.Pick(Request{ID: id, Session: c.session(id)})
+	if ni < 0 || ni >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: router %s picked node %d of %d", c.router.Name(), ni, len(c.nodes)))
+	}
+	n := c.nodes[ni]
+	n.dispatched++
+	n.outstanding++
+	f := &flight{c: c, id: id, node: ni}
+	c.flight[id] = f
+	d := n.reqLink.delay(now, c.cfg.Net.RequestLatency, c.cfg.Net.RequestBytes, c.cfg.Net.LinkBandwidth)
+	c.Eng.AfterFunc(d, deliverFlight, f)
+}
+
+// deliverFlight is the request's arrival at its node.
+func deliverFlight(arg any) {
+	f := arg.(*flight)
+	n := f.c.nodes[f.node]
+	n.meter.Submitted(f.id, f.c.Eng.Now())
+	n.backend.Submit(f.id)
+}
+
+// nodeDone is the backend completion callback: meter the node-internal
+// latency and send the reply back across the link.
+func (c *Cluster) nodeDone(ni, id int) {
+	now := c.Eng.Now()
+	n := c.nodes[ni]
+	n.meter.Completed(id, now)
+	f := c.flight[id]
+	if f == nil || f.node != ni {
+		panic(fmt.Sprintf("cluster: node %d completed unknown request %d", ni, id))
+	}
+	d := n.repLink.delay(now, c.cfg.Net.ReplyLatency, c.cfg.Net.ReplyBytes, c.cfg.Net.LinkBandwidth)
+	c.Eng.AfterFunc(d, replyFlight, f)
+}
+
+// replyFlight is the reply's arrival back at the client edge: close the
+// end-to-end measurement and, after the final reply, drain the fleet.
+func replyFlight(arg any) {
+	f := arg.(*flight)
+	c := f.c
+	now := c.Eng.Now()
+	c.meter.Completed(f.id, now)
+	delete(c.flight, f.id)
+	c.nodes[f.node].outstanding--
+	c.completed++
+	c.src.Completed(f.id)
+	if c.completed == c.total {
+		for _, n := range c.nodes {
+			n.backend.Stop()
+		}
+	}
+}
+
+// Completed reports how many requests finished end to end.
+func (c *Cluster) Completed() int { return c.completed }
+
+// Run drives the shared engine to completion with a horizon (zero means
+// none); it reports whether the horizon was hit and tears the whole
+// fleet down in that case, exactly like stack.System.Run does for one
+// machine.
+func (c *Cluster) Run(horizon sim.Duration) (timedOut bool, err error) {
+	_, hit, err := c.Eng.RunHorizon(horizon)
+	if err != nil {
+		return false, err
+	}
+	if hit && (c.completed < c.total || c.Eng.Live() > 0) {
+		c.Eng.KillAll()
+		return true, nil
+	}
+	if c.served && c.completed < c.total {
+		// The engine ran dry before the horizon with requests missing:
+		// a backend lost a request (done not called) — surface it
+		// rather than letting partial stats pass as a clean run.
+		return false, fmt.Errorf("cluster: engine ran dry with %d of %d requests completed",
+			c.completed, c.total)
+	}
+	return false, nil
+}
+
+// NodeStats is one node's slice of a cluster run.
+type NodeStats struct {
+	Name string
+	// Dispatched counts requests the router sent here.
+	Dispatched int
+	// Internal is the node-internal view: arrival at the node to
+	// completion at the node, network excluded.
+	Internal load.MeterStats
+}
+
+// Stats is a snapshot of a cluster run.
+type Stats struct {
+	// EndToEnd covers submission to reply arrival: network + queueing +
+	// service.
+	EndToEnd load.MeterStats
+	// Nodes holds per-node views in registration order.
+	Nodes []NodeStats
+	// NodeP50/P95/P99/P999 are the cluster-aggregated node-internal
+	// percentiles: every node's latency population merged into one
+	// sketch (metrics.Sketch.Merge), NOT an average of per-node
+	// percentiles.
+	NodeP50, NodeP95, NodeP99, NodeP999 sim.Duration
+	// Imbalance is max/min requests dispatched across nodes (1.0 is a
+	// perfect split; +Inf when a node got nothing).
+	Imbalance float64
+}
+
+// Stats snapshots the cluster's meters.
+func (c *Cluster) Stats() Stats {
+	st := Stats{EndToEnd: c.meter.Stats()}
+	var agg metrics.Sketch
+	minD, maxD := -1, 0
+	for _, n := range c.nodes {
+		st.Nodes = append(st.Nodes, NodeStats{
+			Name:       n.Name,
+			Dispatched: n.dispatched,
+			Internal:   n.meter.Stats(),
+		})
+		n.meter.MergeInto(&agg)
+		if minD < 0 || n.dispatched < minD {
+			minD = n.dispatched
+		}
+		if n.dispatched > maxD {
+			maxD = n.dispatched
+		}
+	}
+	st.NodeP50 = agg.Quantile(0.50)
+	st.NodeP95 = agg.Quantile(0.95)
+	st.NodeP99 = agg.Quantile(0.99)
+	st.NodeP999 = agg.Quantile(0.999)
+	if maxD > 0 {
+		if minD > 0 {
+			st.Imbalance = float64(maxD) / float64(minD)
+		} else {
+			st.Imbalance = math.Inf(1)
+		}
+	}
+	return st
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import "repro/internal/sim"
+
+// Network is the cluster's communication cost model. Every request
+// crosses one client→node hop and every reply one node→client hop; each
+// hop pays a fixed propagation latency plus, when LinkBandwidth is set,
+// a store-and-forward serialisation delay on the node's private link.
+// Links are full duplex: requests and replies queue independently.
+//
+// The model is deliberately deterministic and allocation-free: link
+// occupancy is a single next-free instant per direction, so a burst of
+// routed requests to one node serialises on its link exactly like
+// back-to-back frames on a NIC.
+type Network struct {
+	// RequestLatency is the one-way client→node propagation delay.
+	RequestLatency sim.Duration
+	// ReplyLatency is the one-way node→client propagation delay.
+	ReplyLatency sim.Duration
+	// RequestBytes and ReplyBytes are the per-message payload sizes used
+	// for serialisation when LinkBandwidth is non-zero.
+	RequestBytes, ReplyBytes int64
+	// LinkBandwidth is each node link's bandwidth in bytes per virtual
+	// nanosecond (i.e. GB/s), per direction. Zero means infinite
+	// bandwidth: hops cost only propagation.
+	LinkBandwidth float64
+}
+
+// link tracks one direction of one node's access link.
+type link struct {
+	nextFree sim.Time
+}
+
+// delay returns the total hop delay for a message of size bytes sent at
+// now, and advances the link clock: queue behind earlier transfers,
+// serialise at bw, then propagate.
+func (l *link) delay(now sim.Time, prop sim.Duration, bytes int64, bw float64) sim.Duration {
+	if bw <= 0 || bytes <= 0 {
+		return prop
+	}
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	ser := sim.Duration(float64(bytes) / bw)
+	l.nextFree = start.Add(ser)
+	return start.Sub(now) + ser + prop
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Request is what a router sees of one arrival: the global request id
+// and its session key (stable across a client's requests, the unit of
+// affinity).
+type Request struct {
+	ID      int
+	Session uint64
+}
+
+// Router decides which node serves each request. Implementations are
+// single-use: Bind attaches them to one cluster (and its deterministic
+// RNG stream) before the first Pick. Pick runs at the arrival instant,
+// in event context, and must be deterministic given the bound RNG
+// stream and the cluster's observable state.
+type Router interface {
+	// Name labels the policy in cell names and tables.
+	Name() string
+	// Bind attaches the router to its cluster. rng is an independent
+	// engine stream reserved for routing decisions.
+	Bind(c *Cluster, rng *sim.Rand)
+	// Pick returns the index of the node that serves req.
+	Pick(req Request) int
+}
+
+// RoundRobin dispatches requests to nodes in rotation, ignoring load —
+// the classic stateless baseline.
+type RoundRobin struct {
+	n, next int
+}
+
+// NewRoundRobin returns a fresh round-robin router.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Router.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Bind implements Router.
+func (r *RoundRobin) Bind(c *Cluster, _ *sim.Rand) { r.n = len(c.nodes) }
+
+// Pick implements Router.
+func (r *RoundRobin) Pick(Request) int {
+	i := r.next
+	r.next = (r.next + 1) % r.n
+	return i
+}
+
+// LeastOutstanding routes each request to the less-loaded of Choices
+// randomly sampled nodes (power-of-two-choices by default), measured by
+// outstanding (dispatched but unreplied) requests. Sampling draws from
+// the cluster's router RNG stream, so decisions are reproducible.
+// Choices >= the node count degenerates to exact least-outstanding over
+// all nodes.
+type LeastOutstanding struct {
+	// Choices is the sample size (default 2).
+	Choices int
+
+	c      *Cluster
+	rng    *sim.Rand
+	sample []int // distinct node indices drawn this pick (reused)
+}
+
+// NewLeastOutstanding returns a power-of-two-choices router.
+func NewLeastOutstanding() *LeastOutstanding { return &LeastOutstanding{Choices: 2} }
+
+// Name implements Router.
+func (r *LeastOutstanding) Name() string { return "least-outstanding" }
+
+// Bind implements Router.
+func (r *LeastOutstanding) Bind(c *Cluster, rng *sim.Rand) {
+	if r.Choices <= 0 {
+		r.Choices = 2
+	}
+	r.c, r.rng = c, rng
+}
+
+// Pick implements Router.
+func (r *LeastOutstanding) Pick(Request) int {
+	n := len(r.c.nodes)
+	if r.Choices >= n {
+		// Exact scan; ties break toward the lower index.
+		best := 0
+		for i := 1; i < n; i++ {
+			if r.c.nodes[i].outstanding < r.c.nodes[best].outstanding {
+				best = i
+			}
+		}
+		return best
+	}
+	// Draw Choices distinct nodes: the s-th draw samples [0, n-s) and
+	// is shifted past the already-drawn indices, so exactly Choices RNG
+	// draws happen per pick (stream alignment is queue-independent) and
+	// the sample really covers Choices distinct candidates.
+	r.sample = r.sample[:0]
+	best := -1
+	for s := 0; s < r.Choices; s++ {
+		i := r.rng.Intn(n - s)
+		for _, seen := range r.sample {
+			if i >= seen {
+				i++
+			}
+		}
+		// Keep the sample sorted so the shift above stays correct.
+		r.sample = append(r.sample, i)
+		for at := len(r.sample) - 1; at > 0 && r.sample[at] < r.sample[at-1]; at-- {
+			r.sample[at], r.sample[at-1] = r.sample[at-1], r.sample[at]
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		// Ties keep the earlier draw (canonical power-of-N-choices):
+		// the first draw is uniform, so idle-fleet traffic spreads
+		// instead of herding onto low-indexed nodes.
+		if r.c.nodes[i].outstanding < r.c.nodes[best].outstanding {
+			best = i
+		}
+	}
+	return best
+}
+
+// ConsistentHash pins each session to a node with a consistent-hash
+// ring (session affinity): the same session always lands on the same
+// node, and adding or removing a node only remaps the sessions on the
+// affected arc. Replicas virtual points per node smooth the split.
+type ConsistentHash struct {
+	// Replicas is the number of virtual ring points per node
+	// (default 64).
+	Replicas int
+
+	ring []ringPoint
+}
+
+// ringPoint is one virtual node position on the hash ring.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// NewConsistentHash returns a session-affinity router.
+func NewConsistentHash() *ConsistentHash { return &ConsistentHash{Replicas: 64} }
+
+// Name implements Router.
+func (r *ConsistentHash) Name() string { return "consistent-hash" }
+
+// mix64 finalises a session key into a ring position (splitmix64
+// finaliser, so nearby keys spread over the whole ring).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Bind implements Router: it builds the ring from the nodes' names, so
+// ring layout depends only on the cluster's composition.
+func (r *ConsistentHash) Bind(c *Cluster, _ *sim.Rand) {
+	if r.Replicas <= 0 {
+		r.Replicas = 64
+	}
+	r.ring = r.ring[:0]
+	for i, n := range c.nodes {
+		base := sim.Hash64(n.Name)
+		for v := 0; v < r.Replicas; v++ {
+			r.ring = append(r.ring, ringPoint{
+				hash: mix64(base + uint64(v)*0x9e3779b97f4a7c15),
+				node: i,
+			})
+		}
+	}
+	sort.Slice(r.ring, func(a, b int) bool {
+		if r.ring[a].hash != r.ring[b].hash {
+			return r.ring[a].hash < r.ring[b].hash
+		}
+		return r.ring[a].node < r.ring[b].node
+	})
+}
+
+// Pick implements Router.
+func (r *ConsistentHash) Pick(req Request) int {
+	h := mix64(req.Session)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].node
+}

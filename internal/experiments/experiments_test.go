@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/workloads/inference"
 	"repro/internal/workloads/md"
@@ -267,5 +268,94 @@ func TestTailLoadShapesCoverAllSources(t *testing.T) {
 			t.Fatalf("shape %s: %d/6 completed (timed out %v)",
 				shape.Name, res.Tail.Completed, res.TimedOut)
 		}
+	}
+}
+
+func TestClusterQuickSweep(t *testing.T) {
+	// A trimmed grid (bursty only, two loads) exercises fleet assembly,
+	// rendering, knee detection, and the two separations the scenario
+	// exists to demonstrate.
+	cfg := QuickCluster()
+	cfg.Shapes = TailShapes()[1:2] // bursty
+	cfg.Loads = []float64{1.0, 2.0}
+	res := RunCluster(cfg)
+	if len(res.Cells) != 1 || len(res.Cells[0]) != len(cfg.Schemes) ||
+		len(res.Cells[0][0]) != len(cfg.Routers) || len(res.Cells[0][0][0]) != 2 {
+		t.Fatal("grid shape wrong")
+	}
+	for si := range cfg.Schemes {
+		for ri := range cfg.Routers {
+			for li := range cfg.Loads {
+				c := res.Cell(0, si, ri, li)
+				if c.TimedOut {
+					t.Fatalf("%s/%s@%.2f timed out", c.Scheme, c.Router, c.Load)
+				}
+				if c.Stats.EndToEnd.Completed != cfg.Requests {
+					t.Fatalf("%s/%s@%.2f: completed %d of %d", c.Scheme, c.Router,
+						c.Load, c.Stats.EndToEnd.Completed, cfg.Requests)
+				}
+				if c.Stats.NodeP99 <= 0 || len(c.Stats.Nodes) != cfg.Nodes {
+					t.Fatalf("%s/%s@%.2f: bad node stats %+v", c.Scheme, c.Router, c.Load, c.Stats)
+				}
+				// End-to-end latency includes the network: the slowest
+				// node-internal request's end-to-end time strictly
+				// dominates its internal time, so the maxima must too.
+				maxInternal := sim.Duration(0)
+				for _, ns := range c.Stats.Nodes {
+					if ns.Internal.Max > maxInternal {
+						maxInternal = ns.Internal.Max
+					}
+				}
+				if c.Stats.EndToEnd.Max <= maxInternal {
+					t.Fatalf("%s/%s@%.2f: end-to-end max %v <= node-internal max %v",
+						c.Scheme, c.Router, c.Load, c.Stats.EndToEnd.Max, maxInternal)
+				}
+			}
+		}
+	}
+	// The acceptance separations: on the heterogeneous fleet under
+	// bursty arrivals, load-aware p2c routing must beat round-robin on
+	// p99 (scheme-for-scheme at the low load), and the two schemes must
+	// be distinguishable at the same router.
+	rrIdx, p2cIdx := 0, 1
+	for si, scheme := range cfg.Schemes {
+		rr := res.Cell(0, si, rrIdx, 0)
+		p2c := res.Cell(0, si, p2cIdx, 0)
+		if p2c.Stats.EndToEnd.P99 >= rr.Stats.EndToEnd.P99 {
+			t.Fatalf("%s: p2c p99 %v >= rr p99 %v under bursty arrivals",
+				scheme.Name, p2c.Stats.EndToEnd.P99, rr.Stats.EndToEnd.P99)
+		}
+	}
+	sep := false
+	for ri := range cfg.Routers {
+		for li := range cfg.Loads {
+			a := res.Cell(0, 0, ri, li).Stats.EndToEnd.P99
+			b := res.Cell(0, 1, ri, li).Stats.EndToEnd.P99
+			if a != b {
+				sep = true
+			}
+		}
+	}
+	if !sep {
+		t.Fatal("sched_coop and baseline indistinguishable in every cell")
+	}
+	out := res.Render()
+	for _, want := range []string{"arrivals: bursty", "end-to-end p99", "goodput",
+		"node-internal p99, cluster-aggregated", "dispatch imbalance",
+		"Max sustainable cluster load", "p2c/sched_coop"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterParallelMatchesSerial(t *testing.T) {
+	cfg := QuickCluster()
+	cfg.Shapes = TailShapes()[:1] // poisson
+	cfg.Loads = []float64{1.0}
+	serial := AssembleCluster(cfg, harness.Run(ClusterJobs(cfg), 1)).Render()
+	parallel := AssembleCluster(cfg, harness.Run(ClusterJobs(cfg), 4)).Render()
+	if serial != parallel {
+		t.Fatalf("cluster tables differ between par 1 and par 4:\n%s\n---\n%s", serial, parallel)
 	}
 }

@@ -163,6 +163,36 @@ func traceTailLoad(cfg TailLoadConfig) *trace.Buffer {
 	return buf
 }
 
+func clusterConfig(opt harness.Opts) ClusterConfig {
+	cfg := DefaultCluster()
+	if opt.Quick {
+		cfg = QuickCluster()
+	}
+	cfg.Seed = opt.ApplySeed(cfg.Seed)
+	return cfg
+}
+
+// traceCluster traces node 0 of the most loaded bursty cell under
+// least-outstanding routing and SCHED_COOP, so the trace shows one
+// fleet member absorbing its routed share of a burst.
+func traceCluster(cfg ClusterConfig) *trace.Buffer {
+	buf := trace.NewBuffer(traceCap)
+	shape := cfg.Shapes[0]
+	for _, s := range cfg.Shapes {
+		if s.Name == "bursty" {
+			shape = s
+		}
+	}
+	router := cfg.Routers[0]
+	for _, r := range cfg.Routers {
+		if r.Name == "p2c" {
+			router = r
+		}
+	}
+	runClusterCell(cfg, shape, cfg.Schemes[0], router, cfg.Loads[len(cfg.Loads)-1], buf)
+	return buf
+}
+
 func init() {
 	harness.Register(&harness.Scenario{
 		Name:  "matmul",
@@ -235,6 +265,19 @@ func init() {
 		},
 		Trace: func(opt harness.Opts) *trace.Buffer {
 			return traceTailLoad(tailLoadConfig(opt))
+		},
+	})
+	harness.Register(&harness.Scenario{
+		Name:  "cluster",
+		Title: "Multi-node fleet: routers × schemes × arrival shapes × offered load",
+		Jobs: func(opt harness.Opts) []harness.Job {
+			return ClusterJobs(clusterConfig(opt))
+		},
+		Render: func(opt harness.Opts, results []harness.Result) string {
+			return AssembleCluster(clusterConfig(opt), results).Render()
+		},
+		Trace: func(opt harness.Opts) *trace.Buffer {
+			return traceCluster(clusterConfig(opt))
 		},
 	})
 }

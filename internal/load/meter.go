@@ -63,6 +63,11 @@ func (m *Meter) Completed(id int, t sim.Time) sim.Duration {
 // InFlight returns the number of submitted-but-uncompleted requests.
 func (m *Meter) InFlight() int { return len(m.inflight) }
 
+// MergeInto merges the meter's latency sketch into dst, so several
+// meters' populations can be aggregated (cluster-wide percentiles
+// across per-node meters) without retaining any samples.
+func (m *Meter) MergeInto(dst *metrics.Sketch) { dst.Merge(&m.sketch) }
+
 // MeterStats is a snapshot of a Meter: streaming tail-latency
 // percentiles plus SLO-relative goodput accounting.
 type MeterStats struct {

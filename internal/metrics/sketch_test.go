@@ -150,3 +150,39 @@ func TestSketchBucketGeometry(t *testing.T) {
 		}
 	}
 }
+
+func TestSketchMergeWithinErrorBoundVsExact(t *testing.T) {
+	// The cluster layer merges per-node sketches to report fleet-wide
+	// percentiles: quantiles of a merged sketch must stay within the
+	// sketch's 1% relative error bound of the exact order statistics of
+	// the pooled samples. Shards are deliberately skewed (disjoint
+	// latency regimes per shard, log-uniform spread) so merging actually
+	// crosses bucket ranges.
+	rng := sim.NewRand(7)
+	const shards = 4
+	var parts [shards]Sketch
+	var all []sim.Duration
+	for i := 0; i < 20000; i++ {
+		shard := i % shards
+		// Shard k lives around 10^k milliseconds, log-uniformly jittered.
+		base := math.Pow(10, float64(shard)) * float64(sim.Millisecond)
+		d := sim.Duration(base * math.Pow(4, rng.Float64()*2-1))
+		parts[shard].Add(d)
+		all = append(all, d)
+	}
+	var merged Sketch
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.N() != int64(len(all)) {
+		t.Fatalf("merged N = %d, want %d", merged.N(), len(all))
+	}
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999} {
+		got := float64(merged.Quantile(q))
+		want := float64(exactQuantile(all, q))
+		if relErr := math.Abs(got-want) / want; relErr > 0.01 {
+			t.Fatalf("merged q%g = %v, exact %v: relative error %.4f > 1%%",
+				q, sim.Duration(got), sim.Duration(want), relErr)
+		}
+	}
+}

@@ -245,3 +245,17 @@ func (e *Engine) Run(until Time) (Time, error) {
 
 // RunAll runs with no horizon.
 func (e *Engine) RunAll() (Time, error) { return e.Run(Forever) }
+
+// RunHorizon drives the engine with an optional horizon (non-positive
+// means none) and additionally reports whether the horizon was reached.
+// Callers that model timed-out simulations combine `hit` with their own
+// work-remaining predicate and then tear the engine down (KillAll) —
+// see stack.System.Run and cluster.Cluster.Run.
+func (e *Engine) RunHorizon(horizon Duration) (end Time, hit bool, err error) {
+	until := Forever
+	if horizon > 0 {
+		until = e.now.Add(horizon)
+	}
+	end, err = e.Run(until)
+	return end, err == nil && end >= until, err
+}

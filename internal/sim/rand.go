@@ -12,15 +12,21 @@ type Rand struct {
 // NewRand returns a generator seeded with seed.
 func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
 
+// Hash64 is FNV-1a over a string: the deterministic label hash used for
+// RNG stream derivation and consistent-hash ring placement.
+func Hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // Stream derives an independent child generator from a label, so separate
 // subsystems consume independent sequences.
 func (r *Rand) Stream(label string) *Rand {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(label); i++ {
-		h ^= uint64(label[i])
-		h *= 1099511628211
-	}
-	return NewRand(r.state ^ h ^ 0x9e3779b97f4a7c15)
+	return NewRand(r.state ^ Hash64(label) ^ 0x9e3779b97f4a7c15)
 }
 
 // Uint64 returns the next pseudo-random 64-bit value.

@@ -5,6 +5,8 @@
 package stack
 
 import (
+	"fmt"
+
 	"repro/internal/glibc"
 	"repro/internal/hw"
 	"repro/internal/kernel"
@@ -62,6 +64,11 @@ type System struct {
 	Coop *usf.SchedCoop
 	// CoopConfig configures the policy created for USF processes.
 	CoopConfig usf.CoopConfig
+
+	// rng is the machine's own RNG-stream root, seeded independently of
+	// the engine so several systems can share one engine while each keeps
+	// the exact stream namespace it would have had on a private engine.
+	rng *sim.Rand
 }
 
 // New builds a system on the given machine.
@@ -69,12 +76,38 @@ func New(machine hw.Config, seed uint64) *System {
 	return NewWithParams(machine, seed, kernel.DefaultSchedParams())
 }
 
-// NewWithParams builds a system with explicit kernel scheduler parameters.
+// NewWithParams builds a system on a private engine with explicit kernel
+// scheduler parameters.
 func NewWithParams(machine hw.Config, seed uint64, params kernel.SchedParams) *System {
-	eng := sim.NewEngine(seed)
-	k := kernel.New(eng, machine, params)
-	return &System{Eng: eng, K: k, CoopConfig: usf.DefaultCoopConfig()}
+	return NewOnEngine(sim.NewEngine(seed), machine, seed, params)
 }
+
+// NewOnEngine builds a system over an existing engine, so N fully
+// independent simulated machines can share one deterministic event loop
+// (the multi-node cluster layer). All kernel, glibc, nOS-V, and USF
+// state is per-system — the kernel owns its cores, stats, tracer, and
+// the nOS-V segment registry (kernel.Local) — so systems on one engine
+// never observe each other except through virtual time.
+//
+// seed roots the system's private RNG-stream namespace (see Rand): a
+// system built on a shared engine draws exactly the streams it would
+// have drawn on a private engine seeded the same way. A system that
+// shares its engine must not use System.Run — the horizon and teardown
+// there apply to the whole engine; the owner of the engine (e.g.
+// cluster.Cluster) drives the run instead.
+func NewOnEngine(eng *sim.Engine, machine hw.Config, seed uint64, params kernel.SchedParams) *System {
+	if err := machine.Validate(); err != nil {
+		panic(fmt.Errorf("stack: invalid machine %q: %w", machine.Name, err))
+	}
+	k := kernel.New(eng, machine, params)
+	return &System{Eng: eng, K: k, CoopConfig: usf.DefaultCoopConfig(), rng: sim.NewRand(seed)}
+}
+
+// Rand returns an independent RNG stream for the given label, rooted at
+// the system's own seed. On a private engine (New/NewWithParams) it is
+// identical to Eng.Rand; on a shared engine it keeps each system's
+// streams independent of its neighbours'.
+func (s *System) Rand(label string) *sim.Rand { return s.rng.Stream(label) }
 
 // NewWithClass builds a system whose kernel runs every thread under the
 // named scheduling class ("fair", "rr", "fifo", "batch") — the knob the
@@ -106,15 +139,11 @@ func (s *System) Start(name string, mode Mode, opts glibc.Options, main func(l *
 // whether the horizon was hit (the paper's timed-out white squares) and
 // tears the system down in that case.
 func (s *System) Run(horizon sim.Duration) (timedOut bool, err error) {
-	until := sim.Forever
-	if horizon > 0 {
-		until = s.Eng.Now().Add(horizon)
-	}
-	end, err := s.Eng.Run(until)
+	_, hit, err := s.Eng.RunHorizon(horizon)
 	if err != nil {
 		return false, err
 	}
-	if s.Eng.Live() > 0 && end >= until {
+	if hit && s.Eng.Live() > 0 {
 		s.Eng.KillAll()
 		return true, nil
 	}

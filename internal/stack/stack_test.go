@@ -1,10 +1,13 @@
 package stack
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/glibc"
 	"repro/internal/hw"
+	"repro/internal/kernel"
 	"repro/internal/sim"
 )
 
@@ -82,6 +85,121 @@ func TestRunCompletesBeforeHorizon(t *testing.T) {
 	if timedOut {
 		t.Fatal("spurious timeout")
 	}
+}
+
+func TestNewWithParamsRejectsInvalidMachine(t *testing.T) {
+	bad := hw.SmallNode()
+	bad.Topo.CoresPerSocket = 0 // invalid topology
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("invalid machine did not panic")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %T is not an error: %v", r, r)
+		}
+		if msg := err.Error(); !strings.HasPrefix(msg, "stack: invalid machine") {
+			t.Fatalf("unclear validation error: %q", msg)
+		}
+	}()
+	NewWithParams(bad, 1, kernel.DefaultSchedParams())
+}
+
+// contendResult captures everything observable about one system's run:
+// per-thread completion instants, the RNG-dependent work layout, and the
+// kernel's scheduling counters.
+type contendResult struct {
+	doneAt []sim.Time
+	works  []sim.Duration
+	stats  kernel.Counters
+}
+
+// runContend starts an oversubscribed, mutex-contending workload on sys
+// (drawing per-thread work from the system's own RNG namespace) and
+// returns a closure that snapshots the result after the engine ran.
+func runContend(t *testing.T, sys *System, mode Mode) func() contendResult {
+	t.Helper()
+	const threads = 12
+	res := contendResult{
+		doneAt: make([]sim.Time, threads),
+		works:  make([]sim.Duration, threads),
+	}
+	rng := sys.Rand("contend")
+	for i := range res.works {
+		res.works[i] = sim.Duration(1+rng.Intn(5)) * sim.Millisecond
+	}
+	_, err := sys.Start("app", mode, glibc.Options{}, func(l *glibc.Lib) {
+		mu := l.NewMutex()
+		var pts []*glibc.Pthread
+		for i := 0; i < threads; i++ {
+			i := i
+			pts = append(pts, l.PthreadCreate("w", func() {
+				for rep := 0; rep < 3; rep++ {
+					mu.Lock()
+					l.Compute(res.works[i] / 4)
+					mu.Unlock()
+					l.Compute(res.works[i])
+				}
+				res.doneAt[i] = l.K.Eng.Now()
+			}))
+		}
+		for _, pt := range pts {
+			l.PthreadJoin(pt)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() contendResult {
+		res.stats = sys.K.Stats
+		return res
+	}
+}
+
+// TestSharedEngineMatchesSequentialRuns locks in the engine-sharing
+// contract: two kernels on one engine produce byte-identical results to
+// two sequential single-kernel runs with the same seeds. This is the
+// cluster layer's determinism foundation (and pins the PR 1
+// threadOfProc fix at the NewOnEngine abstraction level).
+func TestSharedEngineMatchesSequentialRuns(t *testing.T) {
+	const seedA, seedB = 7, 42
+	solo := func(seed uint64, mode Mode) contendResult {
+		sys := New(hw.SmallNode(), seed)
+		snap := runContend(t, sys, mode)
+		if _, err := sys.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return snap()
+	}
+	wantA := solo(seedA, ModeBaseline)
+	wantB := solo(seedB, ModeCoop)
+
+	eng := sim.NewEngine(1) // engine seed deliberately differs from both
+	params := kernel.DefaultSchedParams()
+	a := NewOnEngine(eng, hw.SmallNode(), seedA, params)
+	b := NewOnEngine(eng, hw.SmallNode(), seedB, params)
+	snapA := runContend(t, a, ModeBaseline)
+	snapB := runContend(t, b, ModeCoop)
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	gotA, gotB := snapA(), snapB()
+
+	check := func(name string, got, want contendResult) {
+		t.Helper()
+		if !reflect.DeepEqual(got.works, want.works) {
+			t.Fatalf("%s: RNG namespace diverged:\n got %v\nwant %v", name, got.works, want.works)
+		}
+		if !reflect.DeepEqual(got.doneAt, want.doneAt) {
+			t.Fatalf("%s: completion times diverged:\n got %v\nwant %v", name, got.doneAt, want.doneAt)
+		}
+		if got.stats != want.stats {
+			t.Fatalf("%s: kernel counters diverged:\n got %+v\nwant %+v", name, got.stats, want.stats)
+		}
+	}
+	check("node A", gotA, wantA)
+	check("node B", gotB, wantB)
 }
 
 func TestNewWithClassSetsDefaultClass(t *testing.T) {

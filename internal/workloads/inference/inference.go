@@ -146,6 +146,101 @@ type request struct {
 	resp   *glibc.Chan
 }
 
+// serveBatches runs one request's inference on a server: Batches
+// alternations of a GIL-serialised "Python" segment and a parallel BLAS
+// kernel. Shared by the standalone benchmark (Run) and the cluster
+// backend (Service).
+func serveBatches(l *glibc.Lib, gil *glibc.Mutex, b *blas.Lib, serial, parallel sim.Duration, batches int) {
+	for batch := 0; batch < batches; batch++ {
+		gil.Lock()
+		l.Compute(serial)
+		gil.Unlock()
+		b.KernelWork(parallel)
+	}
+}
+
+// gatewayHandle runs one request through the gateway: planning compute,
+// fan-out to every server, then reply collection (poll + recv per
+// server). Shared by the standalone benchmark (Run) and the cluster
+// backend (Service) so the two can never diverge on the reply protocol.
+func gatewayHandle(l *glibc.Lib, req *request, serverIn []*glibc.Chan, planning sim.Duration) {
+	l.Compute(planning)
+	for i := range serverIn {
+		serverIn[i].Send(req)
+	}
+	for replies := 0; replies < len(serverIn); replies++ {
+		glibc.Poll(l.K, []*glibc.Chan{req.resp}, -1)
+		req.resp.Recv()
+	}
+}
+
+// serverThreads returns server m's inner BLAS width under the scheme.
+func serverThreads(scheme Scheme, m Model, cores int) int {
+	threads := m.Threads
+	if scheme == BlNoneSeq {
+		threads = 1
+	}
+	if threads > cores {
+		threads = cores
+	}
+	return threads
+}
+
+// startServer launches one inference-server process on sys: it builds
+// the GIL + OpenMP + BLAS stack, receives requests from recv (which
+// returns nil to drain), spawns one handler per request that runs the
+// batched inference loop and replies on the request's channel, then
+// joins every handler and shuts the OMP runtime down. Shared by the
+// standalone benchmark (Run, counted recv) and the cluster backend
+// (Service, sentinel recv).
+func startServer(sys *stack.System, mode stack.Mode, m Model, opts glibc.Options,
+	threads, batches int, scale float64, tracer *trace.Buffer, recv func() *request) error {
+	_, err := sys.Start("server-"+m.Name, mode, opts, func(l *glibc.Lib) {
+		gil := l.NewMutex()
+		var rt *omp.Runtime
+		if threads > 1 {
+			rt = omp.New(l, omp.Config{Flavor: omp.Gomp, NumThreads: threads, WaitPolicy: omp.WaitPassive})
+		}
+		b := blas.New(l, blas.Config{
+			Impl:           blas.OpenBLAS,
+			Backend:        blas.BackendOpenMP,
+			Threads:        threads,
+			OMP:            rt,
+			YieldInBarrier: true,
+		})
+		serialPerBatch := sim.Duration(m.SerialFrac * float64(m.Work) * scale / float64(batches))
+		parallelPerBatch := sim.Duration((1 - m.SerialFrac) * float64(m.Work) * scale / float64(batches))
+		var handlers []*glibc.Pthread
+		// Per-request handler names are formatted only when the run is
+		// traced: thread names surface in trace output and panic
+		// messages, and the Sprintf is otherwise pure overhead on the
+		// per-request hot path.
+		reqName := m.Name + "-req"
+		for {
+			req := recv()
+			if req == nil {
+				break
+			}
+			name := reqName
+			if tracer != nil {
+				name = fmt.Sprintf("%s-req%d", m.Name, req.id)
+			}
+			handlers = append(handlers, l.PthreadCreate(
+				name, func() {
+					serveBatches(l, gil, b, serialPerBatch, parallelPerBatch, batches)
+					req.resp.Send(m.Name)
+				}))
+		}
+		for _, h := range handlers {
+			l.PthreadJoin(h)
+		}
+		if rt != nil {
+			rt.Shutdown()
+		}
+	})
+	return err
+}
+
 // Run executes the microservices benchmark.
 func Run(cfg Config) Result {
 	if cfg.Scale <= 0 {
@@ -180,7 +275,7 @@ func Run(cfg Config) Result {
 	}
 
 	// Partitioning masks.
-	masks := partition(cfg, cores)
+	masks := partition(cfg.Scheme, cfg.Models, cores)
 
 	// Arrival process (resolved before the gateway closure captures it).
 	src := cfg.Arrivals
@@ -191,63 +286,20 @@ func Run(cfg Config) Result {
 	var traces []RequestTrace
 	completed := 0
 
-	// Inference servers.
+	// Inference servers: each receives exactly cfg.Requests requests.
 	for i, m := range cfg.Models {
-		i, m := i, m
+		in := serverIn[i]
 		opts := glibc.Options{Nice: 20, Affinity: masks[i+1]}
-		threads := m.Threads
-		if cfg.Scheme == BlNoneSeq {
-			threads = 1
+		served := 0
+		recv := func() *request {
+			if served == cfg.Requests {
+				return nil
+			}
+			served++
+			return in.Recv().(*request)
 		}
-		if threads > cores {
-			threads = cores
-		}
-		_, err := sys.Start("server-"+m.Name, mode, opts, func(l *glibc.Lib) {
-			gil := l.NewMutex()
-			var rt *omp.Runtime
-			if threads > 1 {
-				rt = omp.New(l, omp.Config{Flavor: omp.Gomp, NumThreads: threads, WaitPolicy: omp.WaitPassive})
-			}
-			b := blas.New(l, blas.Config{
-				Impl:           blas.OpenBLAS,
-				Backend:        blas.BackendOpenMP,
-				Threads:        threads,
-				OMP:            rt,
-				YieldInBarrier: true,
-			})
-			serialPerBatch := sim.Duration(m.SerialFrac * float64(m.Work) * cfg.Scale / float64(cfg.Batches))
-			parallelPerBatch := sim.Duration((1 - m.SerialFrac) * float64(m.Work) * cfg.Scale / float64(cfg.Batches))
-			var handlers []*glibc.Pthread
-			// Per-request handler names are formatted only when the run
-			// is traced: thread names surface in trace output and panic
-			// messages, and the Sprintf is otherwise pure overhead on
-			// the per-request hot path.
-			reqName := m.Name + "-req"
-			for served := 0; served < cfg.Requests; served++ {
-				req := serverIn[i].Recv().(*request)
-				name := reqName
-				if cfg.Tracer != nil {
-					name = fmt.Sprintf("%s-req%d", m.Name, req.id)
-				}
-				handlers = append(handlers, l.PthreadCreate(
-					name, func() {
-						for batch := 0; batch < cfg.Batches; batch++ {
-							gil.Lock()
-							l.Compute(serialPerBatch)
-							gil.Unlock()
-							b.KernelWork(parallelPerBatch)
-						}
-						req.resp.Send(m.Name)
-					}))
-			}
-			for _, h := range handlers {
-				l.PthreadJoin(h)
-			}
-			if rt != nil {
-				rt.Shutdown()
-			}
-		})
-		if err != nil {
+		if err := startServer(sys, mode, m, opts, serverThreads(cfg.Scheme, m, cores),
+			cfg.Batches, cfg.Scale, cfg.Tracer, recv); err != nil {
 			panic(err)
 		}
 	}
@@ -269,14 +321,7 @@ func Run(cfg Config) Result {
 			}
 			handlers = append(handlers, l.PthreadCreate(
 				name, func() {
-					l.Compute(sim.Duration(float64(cfg.GatewayPlanning) * cfg.Scale))
-					for i := range serverIn {
-						serverIn[i].Send(req)
-					}
-					for replies := 0; replies < len(serverIn); replies++ {
-						glibc.Poll(l.K, []*glibc.Chan{req.resp}, -1)
-						req.resp.Recv()
-					}
+					gatewayHandle(l, req, serverIn, sim.Duration(float64(cfg.GatewayPlanning)*cfg.Scale))
 					now := l.K.Eng.Now()
 					traces = append(traces, RequestTrace{
 						ID: req.id, Submitted: req.sentAt, Completed: now,
@@ -299,7 +344,7 @@ func Run(cfg Config) Result {
 	// "client" RNG stream. The default reproduces the paper's open-loop
 	// Poisson generator; latency covers admission queueing, so sentAt is
 	// the arrival instant, not the dispatch instant.
-	src.Start(sys.Eng, sys.Eng.Rand("client"), cfg.Requests, func(id int) {
+	src.Start(sys.Eng, sys.Rand("client"), cfg.Requests, func(id int) {
 		req := &request{id: id, sentAt: sys.Eng.Now(), resp: glibc.NewChan(k)}
 		meter.Submitted(id, req.sentAt)
 		admit.Admit(func() { gwIn.Send(req) })
@@ -334,10 +379,10 @@ func Run(cfg Config) Result {
 
 // partition returns affinity masks [gateway, server0, server1, server2]
 // per the scheme.
-func partition(cfg Config, cores int) []kernel.Mask {
-	n := len(cfg.Models)
+func partition(scheme Scheme, models []Model, cores int) []kernel.Mask {
+	n := len(models)
 	masks := make([]kernel.Mask, n+1)
-	switch cfg.Scheme {
+	switch scheme {
 	case BlEq:
 		gw := 2
 		masks[0] = kernel.RangeMask(0, gw)
@@ -355,7 +400,7 @@ func partition(cfg Config, cores int) []kernel.Mask {
 		gw := 2
 		masks[0] = kernel.RangeMask(0, gw)
 		at := gw
-		for i, m := range cfg.Models {
+		for i, m := range models {
 			share := int(m.OptShare * float64(cores-gw))
 			hi := at + share
 			if i == n-1 {

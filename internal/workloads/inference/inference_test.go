@@ -176,7 +176,7 @@ func TestRepeatedRunsIdenticalInProcess(t *testing.T) {
 
 func TestPartitionMasks(t *testing.T) {
 	cfg := fastCfg(BlOpt, 1)
-	masks := partition(cfg, 16)
+	masks := partition(cfg.Scheme, cfg.Models, 16)
 	if masks[0].Count() != 2 {
 		t.Fatalf("gateway cores = %d, want 2", masks[0].Count())
 	}
@@ -188,7 +188,8 @@ func TestPartitionMasks(t *testing.T) {
 		t.Fatalf("server cores = %d, want 14", total)
 	}
 	// bl-none has empty (unrestricted) masks.
-	masks = partition(fastCfg(BlNone, 1), 16)
+	none := fastCfg(BlNone, 1)
+	masks = partition(none.Scheme, none.Models, 16)
 	for i, m := range masks {
 		if !m.IsEmpty() {
 			t.Fatalf("bl-none mask %d = %v, want unrestricted", i, m)

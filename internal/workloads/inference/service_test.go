@@ -1,0 +1,57 @@
+package inference
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stack"
+)
+
+// TestServiceServesAndDrains pushes requests into a resident service
+// and checks every one completes, in submission order of completion
+// accounting, and that Stop drains all processes off the engine.
+func TestServiceServesAndDrains(t *testing.T) {
+	sys := stack.New(hw.SmallNode(), 5)
+	var completed []int
+	svc, err := NewService(sys, ServiceConfig{
+		Scheme:  BlNone,
+		Batches: 2,
+		Scale:   0.02,
+		Models:  testModels(),
+	}, func(id int) { completed = append(completed, id) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	for i := 0; i < n; i++ {
+		i := i
+		sys.Eng.After(sim.Duration(i)*100*sim.Millisecond, func() { svc.Submit(i) })
+	}
+	// Stop as soon as the last request completed.
+	prev := svc.done
+	svc.done = func(id int) {
+		prev(id)
+		if len(completed) == n {
+			svc.Stop()
+		}
+	}
+	if _, err := sys.Eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(completed) != n {
+		t.Fatalf("completed %d of %d requests: %v", len(completed), n, completed)
+	}
+	if sys.Eng.Live() != 0 {
+		t.Fatalf("%d procs still live after drain", sys.Eng.Live())
+	}
+}
+
+// testModels returns tiny model profiles for service tests.
+func testModels() []Model {
+	return []Model{
+		{Name: "llama", Work: 600 * sim.Millisecond, SerialFrac: 0.06, Threads: 4, OptShare: 0.64},
+		{Name: "gpt2", Work: 150 * sim.Millisecond, SerialFrac: 0.06, Threads: 2, OptShare: 0.21},
+		{Name: "roberta", Work: 100 * sim.Millisecond, SerialFrac: 0.06, Threads: 2, OptShare: 0.14},
+	}
+}

@@ -34,6 +34,7 @@
 package usched
 
 import (
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/glibc"
 	"repro/internal/hw"
@@ -120,6 +121,18 @@ func DualSocket16() MachineSpec { return hw.DualSocket16() }
 // parameters (a CFS-era Linux, matching the paper's testbed).
 func NewSystem(machine MachineSpec, seed uint64) *System { return stack.New(machine, seed) }
 
+// NewSystemOnEngine wires a simulated machine over an existing engine,
+// so several fully independent machines share one deterministic event
+// loop — the building block of the cluster layer. seed roots the
+// system's private RNG-stream namespace (System.Rand).
+func NewSystemOnEngine(eng *sim.Engine, machine MachineSpec, seed uint64, params KernelSchedParams) *System {
+	return stack.NewOnEngine(eng, machine, seed, params)
+}
+
+// NewEngine returns a bare discrete-event engine, for wiring multi-node
+// clusters (see the cluster types below).
+func NewEngine(seed uint64) *sim.Engine { return sim.NewEngine(seed) }
+
 // Kernel scheduling classes. The simulated kernel's scheduler is a set
 // of pluggable classes (kernel.Class): EEVDF-style fair, SCHED_RR,
 // SCHED_FIFO, and SCHED_BATCH ship built in, and new classes register
@@ -168,10 +181,26 @@ type (
 	MicroservicesResult = inference.Result
 	// InferenceModel is one inference server's compute profile.
 	InferenceModel = inference.Model
+	// InferenceScheme is one of Fig. 4's resource-management schemes.
+	InferenceScheme = inference.Scheme
 	// MDConfig parameterises the §5.6 LAMMPS+DeePMD study.
 	MDConfig = md.Config
 	// MDResult is its outcome.
 	MDResult = md.Result
+)
+
+// Microservices resource-management schemes (Fig. 4).
+const (
+	// InferenceBlNone: no partitioning, stock scheduler.
+	InferenceBlNone = inference.BlNone
+	// InferenceBlEq: equal core split between servers.
+	InferenceBlEq = inference.BlEq
+	// InferenceBlOpt: scalability-proportional split.
+	InferenceBlOpt = inference.BlOpt
+	// InferenceBlNoneSeq: no partitioning, sequential inference.
+	InferenceBlNoneSeq = inference.BlNoneSeq
+	// InferenceCoop: SCHED_COOP.
+	InferenceCoop = inference.Coop
 )
 
 // RunMatmul executes one nested-runtime matmul configuration.
@@ -269,6 +298,69 @@ type (
 	// TailLoadResult holds the tailload grid and its SLO knees.
 	TailLoadResult = experiments.TailLoadResult
 )
+
+// Cluster layer (internal/cluster): a fleet of named nodes — each a
+// complete simulated machine — on one shared engine, behind a routing
+// policy and a network cost model, serving routed traffic end to end.
+type (
+	// Cluster is a multi-node fleet on one shared engine.
+	Cluster = cluster.Cluster
+	// ClusterNode is one named machine of a fleet.
+	ClusterNode = cluster.Node
+	// ClusterStats snapshots a cluster run (end-to-end tails, per-node
+	// views, cluster-aggregated node percentiles, routing balance).
+	ClusterStats = cluster.Stats
+	// ClusterBackend is a node's resident serving workload.
+	ClusterBackend = cluster.Backend
+	// ClusterNetwork is the per-hop latency + per-link bandwidth model.
+	ClusterNetwork = cluster.Network
+	// ClusterRouting is the routing-policy interface.
+	ClusterRouting = cluster.Router
+	// ClusterOptions parameterises a cluster (network, SLO, sessions).
+	ClusterOptions = cluster.Config
+	// InferenceService is the resident microservice stack a cluster
+	// node serves (the paper's §5.5 gateway + servers, push-driven).
+	InferenceService = inference.Service
+	// InferenceServiceConfig parameterises an InferenceService.
+	InferenceServiceConfig = inference.ServiceConfig
+	// ClusterConfig sweeps the fleet scenario (routers × schemes ×
+	// shapes × offered load).
+	ClusterConfig = experiments.ClusterConfig
+	// ClusterResult holds the fleet sweep grid and its SLO knees.
+	ClusterResult = experiments.ClusterResult
+)
+
+// NewCluster builds an empty fleet on eng; add nodes, then Serve.
+func NewCluster(eng *sim.Engine, opts ClusterOptions, r ClusterRouting) *Cluster {
+	return cluster.New(eng, opts, r)
+}
+
+// NewRoundRobinRouter returns the stateless rotation policy.
+func NewRoundRobinRouter() ClusterRouting { return cluster.NewRoundRobin() }
+
+// NewLeastOutstandingRouter returns the power-of-two-choices
+// least-outstanding policy (sampled on the cluster's RNG stream).
+func NewLeastOutstandingRouter() ClusterRouting { return cluster.NewLeastOutstanding() }
+
+// NewConsistentHashRouter returns the session-affinity consistent-hash
+// policy.
+func NewConsistentHashRouter() ClusterRouting { return cluster.NewConsistentHash() }
+
+// NewInferenceService wires the resident microservice stack on a node;
+// done fires once per completed request.
+func NewInferenceService(sys *System, cfg InferenceServiceConfig, done func(id int)) (*InferenceService, error) {
+	return inference.NewService(sys, cfg, done)
+}
+
+// RunCluster executes the fleet sweep.
+func RunCluster(cfg ClusterConfig) *ClusterResult { return experiments.RunCluster(cfg) }
+
+// DefaultCluster returns the scaled full fleet sweep (3 full nodes +
+// 1 straggler).
+func DefaultCluster() ClusterConfig { return experiments.DefaultCluster() }
+
+// QuickCluster returns a small fast fleet sweep.
+func QuickCluster() ClusterConfig { return experiments.QuickCluster() }
 
 // NewLoadMeter returns a meter judging completions against slo (0 =
 // none).

@@ -129,3 +129,43 @@ func TestPublicAPISchedParams(t *testing.T) {
 		t.Fatalf("default class = %s, want batch", got)
 	}
 }
+
+func TestPublicAPICluster(t *testing.T) {
+	// Wire a two-node fleet through the facade: shared engine, one
+	// inference service per node, power-of-two-choices routing.
+	eng := NewEngine(3)
+	cl := NewCluster(eng, ClusterOptions{
+		Net:      ClusterNetwork{RequestLatency: 100 * sim.Microsecond, ReplyLatency: 100 * sim.Microsecond},
+		SLO:      2 * sim.Second,
+		Sessions: 4,
+	}, NewLeastOutstandingRouter())
+	models := []InferenceModel{
+		{Name: "llama", Work: 600 * sim.Millisecond, SerialFrac: 0.06, Threads: 4, OptShare: 0.64},
+		{Name: "gpt2", Work: 150 * sim.Millisecond, SerialFrac: 0.06, Threads: 2, OptShare: 0.21},
+		{Name: "roberta", Work: 100 * sim.Millisecond, SerialFrac: 0.06, Threads: 2, OptShare: 0.14},
+	}
+	for i := 0; i < 2; i++ {
+		sys := NewSystemOnEngine(eng, SmallNode(), uint64(10+i), DefaultKernelSchedParams())
+		cl.AddNode("node"+string(rune('0'+i)), sys, func(done func(id int)) ClusterBackend {
+			svc, err := NewInferenceService(sys, InferenceServiceConfig{
+				Scheme: InferenceCoop, Batches: 2, Scale: 0.05, Models: models,
+			}, done)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return svc
+		})
+	}
+	cl.Serve(&Poisson{Rate: 40}, 8)
+	timedOut, err := cl.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timedOut || cl.Completed() != 8 {
+		t.Fatalf("fleet served %d of 8 (timed out %v)", cl.Completed(), timedOut)
+	}
+	st := cl.Stats()
+	if st.EndToEnd.Completed != 8 || st.NodeP99 <= 0 || len(st.Nodes) != 2 {
+		t.Fatalf("bad cluster stats: %+v", st)
+	}
+}
