@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The -diff mode: compare two BENCH_*.json perf trajectories and turn
+// the committed baseline into a gate (ROADMAP item 5b). Any allocs/op
+// increase fails — the engine core earned its 0 allocs/op and keeps
+// it — and ns/op may drift up at most nsTolerance before it counts as
+// a regression, because wall-time is noisy across hosts while alloc
+// counts are exact.
+
+// nsTolerance is the fractional ns/op increase tolerated as noise.
+const nsTolerance = 0.10
+
+// benchDelta is one benchmark's old-vs-new comparison.
+type benchDelta struct {
+	key        string
+	oldNs      float64
+	newNs      float64
+	oldAllocs  *float64
+	newAllocs  *float64
+	nsRatio    float64 // new/old, 0 when old ns/op is 0
+	nsRegress  bool
+	allocs     bool // allocs/op increased
+	missingNew bool
+	missingOld bool
+}
+
+func benchKey(b Benchmark) string {
+	if b.Package == "" {
+		return b.Name
+	}
+	return b.Package + "." + b.Name
+}
+
+// diffReports compares old and new, returning per-benchmark deltas in
+// the old report's (package, name) order with new-only benchmarks
+// appended.
+func diffReports(old, new *Report) []benchDelta {
+	newByKey := make(map[string]Benchmark, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		newByKey[benchKey(b)] = b
+	}
+	var deltas []benchDelta
+	seen := make(map[string]bool, len(old.Benchmarks))
+	for _, ob := range old.Benchmarks {
+		key := benchKey(ob)
+		seen[key] = true
+		nb, ok := newByKey[key]
+		if !ok {
+			deltas = append(deltas, benchDelta{key: key, oldNs: ob.NsPerOp, missingNew: true})
+			continue
+		}
+		d := benchDelta{
+			key:       key,
+			oldNs:     ob.NsPerOp,
+			newNs:     nb.NsPerOp,
+			oldAllocs: ob.AllocsPerOp,
+			newAllocs: nb.AllocsPerOp,
+		}
+		if ob.NsPerOp > 0 {
+			d.nsRatio = nb.NsPerOp / ob.NsPerOp
+			d.nsRegress = d.nsRatio > 1+nsTolerance
+		}
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil && *nb.AllocsPerOp > *ob.AllocsPerOp {
+			d.allocs = true
+		}
+		deltas = append(deltas, d)
+	}
+	for _, nb := range new.Benchmarks {
+		if key := benchKey(nb); !seen[key] {
+			deltas = append(deltas, benchDelta{key: key, newNs: nb.NsPerOp, missingOld: true})
+		}
+	}
+	return deltas
+}
+
+// writeDiff renders the deltas and reports whether the comparison
+// fails the gate (any allocs/op increase or >nsTolerance ns/op
+// regression). Benchmarks present on only one side are informational.
+func writeDiff(w io.Writer, deltas []benchDelta) (failed bool) {
+	for _, d := range deltas {
+		switch {
+		case d.missingNew:
+			fmt.Fprintf(w, "?  %-60s only in OLD\n", d.key)
+		case d.missingOld:
+			fmt.Fprintf(w, "?  %-60s only in NEW (%.1f ns/op)\n", d.key, d.newNs)
+		default:
+			mark := "ok"
+			if d.nsRegress || d.allocs {
+				mark = "RE"
+				failed = true
+			} else if d.nsRatio != 0 && d.nsRatio < 1-nsTolerance {
+				mark = "im" // improvement beyond the noise band
+			}
+			line := fmt.Sprintf("%s %-60s %12.1f -> %12.1f ns/op (%+.1f%%)",
+				mark, d.key, d.oldNs, d.newNs, 100*(d.nsRatio-1))
+			if d.oldAllocs != nil && d.newAllocs != nil {
+				line += fmt.Sprintf("  %6.0f -> %6.0f allocs/op", *d.oldAllocs, *d.newAllocs)
+				if d.allocs {
+					line += "  ALLOC REGRESSION"
+				}
+			}
+			if d.nsRegress {
+				line += fmt.Sprintf("  NS REGRESSION (> %+.0f%%)", 100*nsTolerance)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	return failed
+}
+
+// readReport loads one BENCH_*.json file.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// runDiff implements `benchjson -diff OLD NEW`: exit 0 when NEW holds
+// the line against OLD, 1 on any regression, 2 on usage/IO errors.
+func runDiff(oldPath, newPath string, stdout, stderr io.Writer) int {
+	old, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	new, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	deltas := diffReports(old, new)
+	if writeDiff(stdout, deltas) {
+		fmt.Fprintf(stderr, "benchjson: %s regressed against %s (allocs/op increase or ns/op > +%.0f%%)\n",
+			newPath, oldPath, 100*nsTolerance)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchjson: %s holds the line against %s\n", newPath, oldPath)
+	return 0
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func mkReport(benchmarks ...Benchmark) *Report {
+	return &Report{Goos: "linux", Goarch: "amd64", Benchmarks: benchmarks}
+}
+
+func deltaByKey(t *testing.T, deltas []benchDelta, key string) benchDelta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.key == key {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %q in %+v", key, deltas)
+	return benchDelta{}
+}
+
+func TestDiffHoldsWithinNoise(t *testing.T) {
+	old := mkReport(
+		Benchmark{Name: "BenchmarkA", Package: "p", NsPerOp: 100, AllocsPerOp: fp(0)},
+		Benchmark{Name: "BenchmarkB", Package: "p", NsPerOp: 200, AllocsPerOp: fp(7)},
+	)
+	new := mkReport(
+		Benchmark{Name: "BenchmarkA", Package: "p", NsPerOp: 109, AllocsPerOp: fp(0)}, // +9%: noise
+		Benchmark{Name: "BenchmarkB", Package: "p", NsPerOp: 150, AllocsPerOp: fp(5)}, // improvement
+	)
+	deltas := diffReports(old, new)
+	var sb strings.Builder
+	if failed := writeDiff(&sb, deltas); failed {
+		t.Fatalf("within-noise diff failed the gate:\n%s", sb.String())
+	}
+}
+
+func TestDiffFlagsNsRegression(t *testing.T) {
+	old := mkReport(Benchmark{Name: "BenchmarkA", Package: "p", NsPerOp: 100})
+	new := mkReport(Benchmark{Name: "BenchmarkA", Package: "p", NsPerOp: 111}) // +11% > 10%
+	deltas := diffReports(old, new)
+	d := deltaByKey(t, deltas, "p.BenchmarkA")
+	if !d.nsRegress {
+		t.Fatalf("+11%% ns/op not flagged: %+v", d)
+	}
+	var sb strings.Builder
+	if failed := writeDiff(&sb, deltas); !failed {
+		t.Fatal("gate passed despite ns/op regression")
+	}
+	if !strings.Contains(sb.String(), "NS REGRESSION") {
+		t.Fatalf("report does not name the regression:\n%s", sb.String())
+	}
+}
+
+func TestDiffFlagsAnyAllocIncrease(t *testing.T) {
+	// One alloc/op up is a failure even when ns/op improved: the
+	// engine's 0 allocs/op is exact, not statistical.
+	old := mkReport(Benchmark{Name: "BenchmarkEvent", Package: "p", NsPerOp: 100, AllocsPerOp: fp(0)})
+	new := mkReport(Benchmark{Name: "BenchmarkEvent", Package: "p", NsPerOp: 50, AllocsPerOp: fp(1)})
+	deltas := diffReports(old, new)
+	d := deltaByKey(t, deltas, "p.BenchmarkEvent")
+	if !d.allocs {
+		t.Fatalf("alloc increase not flagged: %+v", d)
+	}
+	var sb strings.Builder
+	if failed := writeDiff(&sb, deltas); !failed {
+		t.Fatal("gate passed despite allocs/op increase")
+	}
+	if !strings.Contains(sb.String(), "ALLOC REGRESSION") {
+		t.Fatalf("report does not name the regression:\n%s", sb.String())
+	}
+}
+
+func TestDiffAddedAndRemovedAreInformational(t *testing.T) {
+	old := mkReport(
+		Benchmark{Name: "BenchmarkGone", Package: "p", NsPerOp: 10},
+		Benchmark{Name: "BenchmarkKept", Package: "p", NsPerOp: 10},
+	)
+	new := mkReport(
+		Benchmark{Name: "BenchmarkKept", Package: "p", NsPerOp: 10},
+		Benchmark{Name: "BenchmarkNew", Package: "p", NsPerOp: 10},
+	)
+	deltas := diffReports(old, new)
+	if d := deltaByKey(t, deltas, "p.BenchmarkGone"); !d.missingNew {
+		t.Fatalf("removed benchmark not marked: %+v", d)
+	}
+	if d := deltaByKey(t, deltas, "p.BenchmarkNew"); !d.missingOld {
+		t.Fatalf("added benchmark not marked: %+v", d)
+	}
+	var sb strings.Builder
+	if failed := writeDiff(&sb, deltas); failed {
+		t.Fatalf("membership changes alone must not fail the gate:\n%s", sb.String())
+	}
+}
+
+func TestDiffMissingAllocsOnOneSideIsNotARegression(t *testing.T) {
+	old := mkReport(Benchmark{Name: "BenchmarkA", Package: "p", NsPerOp: 100})
+	new := mkReport(Benchmark{Name: "BenchmarkA", Package: "p", NsPerOp: 100, AllocsPerOp: fp(9)})
+	var sb strings.Builder
+	if failed := writeDiff(&sb, diffReports(old, new)); failed {
+		t.Fatalf("allocs/op appearing on one side only must not fail:\n%s", sb.String())
+	}
+}
+
+// TestRunDiffEndToEnd exercises the CLI path: files on disk, exit
+// codes 0 / 1 / 2.
+func TestRunDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		t.Helper()
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", mkReport(Benchmark{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: fp(2)}))
+	goodPath := write("good.json", mkReport(Benchmark{Name: "BenchmarkA", NsPerOp: 95, AllocsPerOp: fp(2)}))
+	badPath := write("bad.json", mkReport(Benchmark{Name: "BenchmarkA", NsPerOp: 95, AllocsPerOp: fp(3)}))
+
+	var out, errb strings.Builder
+	if code := runDiff(oldPath, goodPath, &out, &errb); code != 0 {
+		t.Fatalf("clean diff exited %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "holds the line") {
+		t.Fatalf("missing success summary:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := runDiff(oldPath, badPath, &out, &errb); code != 1 {
+		t.Fatalf("regressing diff exited %d, want 1", code)
+	}
+	if code := runDiff(filepath.Join(dir, "absent.json"), goodPath, &out, &errb); code != 2 {
+		t.Fatalf("missing file exited %d, want 2", code)
+	}
+}

@@ -9,6 +9,14 @@
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -benchmem -run='^$' ./... | benchjson -out BENCH_PR4.json
+//
+// It can also gate a fresh run against a committed baseline:
+//
+//	benchjson -diff BENCH_PR5.json BENCH_CI.json
+//
+// which prints a per-benchmark comparison and exits non-zero if any
+// benchmark's allocs/op increased or its ns/op regressed by more than
+// 10% (wall time is noisy; allocation counts are exact).
 package main
 
 import (
@@ -45,7 +53,16 @@ type Report struct {
 func main() {
 	in := flag.String("in", "", "read benchmark output from `file` instead of stdin")
 	out := flag.String("out", "", "write JSON to `file` instead of stdout")
+	diff := flag.Bool("diff", false, "compare two BENCH_*.json files: benchjson -diff OLD NEW")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: OLD NEW")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), os.Stdout, os.Stderr))
+	}
 
 	r := io.Reader(os.Stdin)
 	if *in != "" {

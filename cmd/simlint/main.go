@@ -1,0 +1,88 @@
+// Command simlint runs the repository's determinism lint suite
+// (internal/lint): maprange, wallclock, globalrand, and goleak, the
+// passes that mechanically enforce the simulator's
+// byte-identical-output contract.
+//
+// Standalone (what `make lint` runs):
+//
+//	simlint ./...
+//	go run ./cmd/simlint ./internal/kernel
+//
+// It prints findings as file:line:col: analyzer: message and exits 1
+// if there are any, 2 on internal errors.
+//
+// As a vet tool, for integration with the go command's caching and
+// per-package fan-out:
+//
+//	go build -o bin/simlint ./cmd/simlint
+//	go vet -vettool=$PWD/bin/simlint ./...
+//
+// In that mode the go command invokes simlint once per package with a
+// JSON .cfg file describing the package and pre-built export data for
+// its imports (see unitchecker.go).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command probes vet tools before use: -V=full for the
+	// build-cache key, -flags for the JSON list of tool flags it may
+	// forward. Answer both before normal flag parsing.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Println("simlint version 1 (repro determinism suite)")
+			return 0
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "print each analyzer's name and rule, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	// go vet -vettool mode: a single *.cfg argument.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnitchecker(rest[0])
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(".", patterns, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

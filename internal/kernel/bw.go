@@ -75,7 +75,7 @@ func (m *bwManager) deregister(c *Core, t *Thread) {
 func (m *bwManager) retimeSocket(s *socketBW) {
 	sc := m.scale(s)
 	order := make([]*Thread, 0, len(s.segs))
-	for t := range s.segs {
+	for t := range s.segs { //lint:allow maprange(keys are insertion-sorted by TID immediately below)
 		order = append(order, t)
 	}
 	for i := 1; i < len(order); i++ {

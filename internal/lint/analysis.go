@@ -1,0 +1,123 @@
+// Package lint is simlint: a suite of static-analysis passes that
+// mechanically enforce the simulator's byte-identical-output contract.
+// Every PR so far re-proved determinism by running the paper artefacts
+// and diffing bytes; these passes move the contract to compile time so
+// a stray time.Now, global math/rand draw, unsorted map range, or raw
+// goroutine in the deterministic core is a lint failure, not a
+// heisenbug hunted through Figure 5.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) but is self-contained on the standard
+// library: the toolchain in this environment has no module proxy, so
+// the framework ships with the repo. If x/tools ever becomes
+// available, each analyzer's Run is a drop-in go/analysis pass.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named determinism rule. The fields deliberately
+// match golang.org/x/tools/go/analysis.Analyzer so the passes can be
+// ported to a stock multichecker without edits to their Run functions.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in
+	// //lint:allow Name(reason) directives.
+	Name string
+	// Doc is the one-paragraph rule statement printed by
+	// `simlint -help`.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test source files, parsed with
+	// comments. Test files are excluded: the determinism contract
+	// covers simulation output, and tests are free to use wall-clock
+	// timeouts and host concurrency around the simulated system.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path used for classification (the
+	// vet-style " [pkg.test]" suffix already stripped).
+	PkgPath string
+	// Deterministic reports whether PkgPath is inside the simulation's
+	// deterministic core (see classify.go). Analyzers must return
+	// immediately when it is false.
+	Deterministic bool
+	// Report receives each finding. The driver wraps it with the
+	// //lint:allow suppression index before the analyzer runs.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full simlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapRange, WallClock, GlobalRand, GoLeak}
+}
+
+// AnalyzerByName resolves an analyzer name (as used in //lint:allow
+// directives); ok is false for unknown names.
+func AnalyzerByName(name string) (a *Analyzer, ok bool) {
+	for _, x := range Analyzers() {
+		if x.Name == name {
+			return x, true
+		}
+	}
+	return nil, false
+}
+
+// inspect walks every file in the pass in source order.
+func inspect(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// useOf resolves an identifier or selector to the object it refers to,
+// or nil.
+func useOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether e refers to the package-level name
+// pkgPath.name (e.g. time.Now).
+func isPkgFunc(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	obj := useOf(info, e)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

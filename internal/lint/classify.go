@@ -1,0 +1,68 @@
+package lint
+
+import "strings"
+
+// Package classification. This is the single shared source of truth
+// for which packages carry the byte-identical-output contract: the
+// code that runs *inside* a simulation, where every observable effect
+// must be a pure function of the scenario configuration and seed.
+//
+// Host-side code — the harness worker pool, CLI, report writers, and
+// this lint suite itself — may touch the wall clock and host
+// concurrency freely; it lives outside the list.
+//
+// When the sharded parallel-simulation refactor (ROADMAP item 1) adds
+// shard packages, adding them here is the whole change: every analyzer
+// consults this list through Pass.Deterministic.
+
+// deterministicPrefixes lists the deterministic-core packages by
+// import path relative to the module root. An entry matches the
+// package itself and everything below it (so "internal/rt" covers
+// internal/rt/omp, internal/rt/tbb, ...).
+var deterministicPrefixes = []string{
+	"internal/sim",
+	"internal/kernel",
+	"internal/glibc",
+	"internal/nosv",
+	"internal/usf",
+	"internal/rt",
+	"internal/stack",
+	"internal/load",
+	"internal/cluster",
+	"internal/workloads",
+}
+
+// modulePath is the import-path prefix of this repository. Kept here
+// rather than read from go.mod so classification works identically in
+// the standalone driver, the vet unitchecker (which only sees import
+// paths), and the tests.
+const modulePath = "repro"
+
+// IsDeterministic reports whether the package with the given import
+// path is part of the simulation's deterministic core. Vet-style
+// variant suffixes ("repro/internal/sim [repro/internal/sim.test]")
+// are classified as their base package.
+func IsDeterministic(pkgPath string) bool {
+	pkgPath = basePkgPath(pkgPath)
+	rel, ok := strings.CutPrefix(pkgPath, modulePath+"/")
+	if !ok {
+		return false
+	}
+	for _, p := range deterministicPrefixes {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// basePkgPath strips the go-vet test-variant decorations from an
+// import path: "p.test" and "p [q.test]" both classify as p's
+// external view ("p_test" external test packages keep their own path
+// and are never deterministic-core).
+func basePkgPath(pkgPath string) string {
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	return strings.TrimSuffix(pkgPath, ".test")
+}

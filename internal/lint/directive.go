@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// //lint:allow directives.
+//
+// A finding is suppressed by annotating the offending line:
+//
+//	for t := range s.segs { //lint:allow maprange(keys insertion-sorted by TID below)
+//
+// or by a standalone comment on the line directly above it:
+//
+//	//lint:allow goleak(coroutine handoff; engine serialises all procs)
+//	go func() { ... }()
+//
+// The reason string is mandatory: an allow is a claim that the site is
+// deterministic anyway, and the claim must be stated where the next
+// reader (and the next refactor) can judge it. Malformed directives —
+// unknown analyzer, missing or empty reason, trailing junk — are
+// reported as errors rather than silently honoured, so a typo can
+// never quietly disable a rule.
+
+// directiveName is the pseudo-analyzer under which malformed-directive
+// errors are reported. It is not suppressible.
+const directiveName = "lintdirective"
+
+// allowKey identifies one suppressed (file line, analyzer) site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowIndex records which analyzer findings are suppressed at which
+// lines of a package.
+type allowIndex struct {
+	allowed map[allowKey]bool
+}
+
+// suppresses reports whether d is covered by an allow directive.
+func (ix *allowIndex) suppresses(d Diagnostic) bool {
+	if d.Analyzer == directiveName {
+		return false
+	}
+	return ix.allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+}
+
+// buildAllowIndex scans the files' comments for //lint: directives,
+// reporting malformed ones through report. A valid allow covers its
+// own line and the line directly below (so both trailing and
+// line-above placement work).
+func buildAllowIndex(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) *allowIndex {
+	ix := &allowIndex{allowed: make(map[allowKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				name, errmsg := parseAllow(body)
+				if errmsg != "" {
+					report(Diagnostic{Analyzer: directiveName, Pos: pos, Message: errmsg})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					ix.allowed[allowKey{pos.Filename, line, name}] = true
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// parseAllow parses the body of a //lint: comment (everything after
+// the colon). It returns the allowed analyzer name, or a non-empty
+// error message describing why the directive is malformed.
+func parseAllow(body string) (name, errmsg string) {
+	verb, rest, hasArg := strings.Cut(body, " ")
+	if verb != "allow" {
+		return "", "malformed lint directive: unknown verb //lint:" + verb + " (only //lint:allow analyzer(reason) is defined)"
+	}
+	if !hasArg {
+		return "", "malformed //lint:allow: want //lint:allow analyzer(reason)"
+	}
+	rest = strings.TrimSpace(rest)
+	open := strings.IndexByte(rest, '(')
+	if open < 0 {
+		return "", "malformed //lint:allow: want //lint:allow analyzer(reason), got no (reason)"
+	}
+	name = strings.TrimSpace(rest[:open])
+	if _, ok := AnalyzerByName(name); !ok {
+		return "", `malformed //lint:allow: unknown analyzer "` + name + `"`
+	}
+	if !strings.HasSuffix(rest, ")") {
+		return "", "malformed //lint:allow: missing closing parenthesis"
+	}
+	reason := strings.TrimSpace(rest[open+1 : len(rest)-1])
+	if reason == "" {
+		return "", "malformed //lint:allow: empty reason — state why the site is deterministic"
+	}
+	return name, ""
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// GlobalRand flags math/rand (and math/rand/v2) inside deterministic
+// packages. The global functions share process-wide state seeded per
+// run, and even a locally-seeded rand.New hides the draw from the
+// engine's replay contract: adding one consumer perturbs every later
+// draw. All simulation randomness must come from the engine's labelled
+// splitmix64 streams (sim.Rand / Rand.Stream), which give each
+// subsystem an independent, seed-stable sequence.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "flags math/rand use in simulation-deterministic packages; draw from the " +
+		"engine's labelled RNG streams (sim.Rand / System.Rand) instead",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) error {
+	if !pass.Deterministic {
+		return nil
+	}
+	// Report each identifier resolving into math/rand; if a file
+	// imports the package without a resolvable use (blank or dot
+	// imports), report the import itself so nothing slips through.
+	for _, f := range pass.Files {
+		seenUse := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if p := obj.Pkg().Path(); p == "math/rand" || p == "math/rand/v2" {
+				seenUse = true
+				pass.Reportf(id.Pos(),
+					"%s.%s in deterministic package %s: use the engine's labelled RNG "+
+						"streams (sim.Rand / Rand.Stream) so draws replay byte-identically",
+					p, obj.Name(), pass.PkgPath)
+			}
+			return true
+		})
+		if seenUse {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in deterministic package %s: use the engine's labelled "+
+						"RNG streams (sim.Rand / Rand.Stream) instead",
+					path, pass.PkgPath)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for range` over a map in deterministic packages. Go
+// randomises map iteration order per run, so any order-sensitive work
+// inside such a loop (scheduling events, mutating ordered queues,
+// accumulating floats) breaks the byte-identical-output contract —
+// exactly the omp.Runtime.Shutdown bug PR 3 caught by diffing Figure 5.
+//
+// One shape is recognised as safe without an annotation: a loop whose
+// body only collects keys/values into slices that are then passed to a
+// sort or slices call later in the same block (collect-then-sort).
+// Everything else needs either a rewrite or an explicit
+// //lint:allow maprange(reason).
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flags range over a map in simulation-deterministic packages; " +
+		"iterate sorted keys (collect-then-sort is recognised) or annotate " +
+		"//lint:allow maprange(reason)",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	if !pass.Deterministic {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var walk func(n ast.Node, encl []ast.Stmt)
+		// walk tracks the statement list enclosing each node so a
+		// flagged loop can look at its younger siblings for the sort.
+		walk = func(n ast.Node, encl []ast.Stmt) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					for _, s := range n.List {
+						walk(s, n.List)
+					}
+					return false
+				case *ast.RangeStmt:
+					checkMapRange(pass, n, encl)
+					// The body was not descended into by the
+					// BlockStmt case only if it is this range's own
+					// body; recurse so nested loops are seen.
+				}
+				return true
+			})
+		}
+		walk(f, nil)
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, r *ast.RangeStmt, encl []ast.Stmt) {
+	tv, ok := pass.TypesInfo.Types[r.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if collectThenSorted(pass, r, encl) {
+		return
+	}
+	pass.Reportf(r.For,
+		"range over map %s in deterministic package %s: iteration order is randomised per run; "+
+			"iterate over sorted keys (or //lint:allow maprange(reason) if order provably cannot escape)",
+		tv.Type.String(), pass.PkgPath)
+}
+
+// collectThenSorted recognises the one annotation-free safe shape:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//	    keys = append(keys, k)
+//	}
+//	sort.Slice(keys, ...)   // or sort.Ints/Strings, slices.Sort*, ...
+//
+// Every statement in the loop body must be an append of loop variables
+// into a slice, and at least one collected slice must be passed to a
+// sort/slices call in a statement after the loop in the same block.
+func collectThenSorted(pass *Pass, r *ast.RangeStmt, encl []ast.Stmt) bool {
+	// Collect the objects appended to; bail on any other statement.
+	targets := map[types.Object]bool{}
+	if len(r.Body.List) == 0 {
+		return false
+	}
+	for _, s := range r.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || pass.TypesInfo.Uses[fn] != types.Universe.Lookup("append") {
+			return false
+		}
+		if len(call.Args) < 2 {
+			return false
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || first.Name != lhs.Name {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+	// Find the loop in its enclosing statement list, then look for a
+	// sort of one of the targets in the statements after it.
+	after := false
+	for _, s := range encl {
+		if s == ast.Stmt(r) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		if stmtSortsAny(pass, s, targets) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtSortsAny reports whether s is a call into package sort or slices
+// that mentions one of the collected slices.
+func stmtSortsAny(pass *Pass, s ast.Stmt, targets map[types.Object]bool) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	mentions := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && targets[pass.TypesInfo.Uses[id]] {
+				mentions = true
+			}
+			return !mentions
+		})
+	}
+	return mentions
+}

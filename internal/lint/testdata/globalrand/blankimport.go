@@ -1,0 +1,5 @@
+// A file that imports math/rand without a resolvable identifier use:
+// the import line itself is flagged so nothing slips through.
+package globalrand
+
+import _ "math/rand" // want `import of math/rand`

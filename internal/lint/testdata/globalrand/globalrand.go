@@ -1,0 +1,30 @@
+// Firing and non-firing cases for the globalrand analyzer.
+package globalrand
+
+import "math/rand"
+
+// firesGlobal: the shared global source.
+func firesGlobal() int {
+	return rand.Intn(10) // want `rand.Intn`
+}
+
+// firesLocal: even a locally-seeded generator hides draws from the
+// engine's labelled-stream replay contract.
+func firesLocal() *rand.Rand { // want `rand.Rand`
+	return rand.New(rand.NewSource(1)) // want `rand.New` `rand.NewSource`
+}
+
+// okLocalPRNG: a hand-rolled generator with no math/rand involvement
+// (what sim.Rand does) is fine.
+func okLocalPRNG(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
+// okAllowed: an explicit, reasoned allow suppresses the finding.
+func okAllowed() int {
+	//lint:allow globalrand(value feeds a host-side debug shuffle, never simulation state)
+	return rand.Intn(3)
+}

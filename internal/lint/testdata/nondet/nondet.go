@@ -1,0 +1,29 @@
+// Violations of every simlint rule, type-checked under a host-side
+// (non-deterministic) import path: none of them may fire. This is the
+// classification half of the non-firing cases — the same code under a
+// deterministic path is covered by the per-analyzer testdata packages.
+package nondet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var m = map[string]int{"a": 1}
+
+func hostSideIsFree() time.Duration {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	_ = rand.Intn(10)
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	wg.Add(1)
+	go func() { defer wg.Done(); ch <- n }()
+	<-ch
+	wg.Wait()
+	t0 := time.Now()
+	return time.Since(t0)
+}

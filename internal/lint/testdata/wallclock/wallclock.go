@@ -1,0 +1,24 @@
+// Firing and non-firing cases for the wallclock analyzer.
+package wallclock
+
+import "time"
+
+// fires: every host-clock entry point is flagged.
+func fires() time.Duration {
+	t0 := time.Now()             // want `time.Now`
+	time.Sleep(time.Millisecond) // want `time.Sleep`
+	<-time.After(time.Second)    // want `time.After`
+	return time.Since(t0)        // want `time.Since`
+}
+
+// okDurations: pure duration values and arithmetic never touch the
+// host clock.
+func okDurations() time.Duration {
+	return 3*time.Millisecond + time.Duration(42)
+}
+
+// okAllowed: an explicit, reasoned allow suppresses the finding.
+func okAllowed() {
+	//lint:allow wallclock(host-side progress logging only; value never reaches simulation state)
+	_ = time.Now()
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock flags host wall-clock access inside deterministic
+// packages. Simulated code has exactly one clock — the engine's
+// virtual time (sim.Time, Engine.Now) — and any time.Now/Sleep/After
+// leaking in makes output depend on host speed and scheduling. Only
+// host-side code (internal/harness metrics, the CLI, this linter) may
+// read the real clock, and those packages are outside the
+// deterministic set.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "flags wall-clock access (time.Now, time.Since, time.Sleep, time.After, " +
+		"timers/tickers) in simulation-deterministic packages; use the engine's " +
+		"virtual time instead",
+	Run: runWallClock,
+}
+
+// wallClockFuncs are the package time names whose use means the host
+// clock has leaked into the simulation. Pure-value names (Duration,
+// Nanosecond, ...) are fine and not listed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !pass.Deterministic {
+		return nil
+	}
+	inspect(pass, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !wallClockFuncs[sel.Sel.Name] {
+			return true
+		}
+		if isPkgFunc(pass.TypesInfo, sel, "time", sel.Sel.Name) {
+			pass.Reportf(sel.Pos(),
+				"time.%s in deterministic package %s: simulated code must use the engine's "+
+					"virtual clock (sim.Time / Engine.Now), never the host wall clock",
+				sel.Sel.Name, pass.PkgPath)
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,77 @@
+package nosv
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// recordingPolicy wraps the FIFO policy and logs the order in which
+// tasks are withdrawn, so tests can observe whether shutdown paths
+// hand the policy a deterministic sequence.
+type recordingPolicy struct {
+	*FIFOPolicy
+	removed []int
+}
+
+func (p *recordingPolicy) Remove(t *Task) {
+	p.removed = append(p.removed, t.ID)
+	p.FIFOPolicy.Remove(t)
+}
+
+// TestDisconnectProcessRemovesInTaskIDOrder is the regression test for
+// the DisconnectProcess map-iteration fix (the simlint maprange rule,
+// and PR 3's omp.Runtime.Shutdown bug before it): withdrawing a dying
+// process's queued tasks must reach the policy in ascending task-ID
+// order, not in Go's per-run map order. Before the fix this failed
+// with probability 1 - 1/8! per run; now the order is exact.
+func TestDisconnectProcessRemovesInTaskIDOrder(t *testing.T) {
+	cfg := hw.SmallNode()
+	cfg.Topo.CoresPerSocket = 1
+	cfg.Costs = hw.Costs{CacheRefillBytesPerNs: 1, L2Bytes: 1}
+	eng := sim.NewEngine(1)
+	k := kernel.New(eng, cfg, kernel.DefaultSchedParams())
+	proc := k.NewProcess("app")
+	rec := &recordingPolicy{FIFOPolicy: NewFIFO()}
+	in, err := OpenSegment(k, "seg", proc, func() Policy { return rec })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := k.NewProcess("doomed")
+	if _, err := OpenSegment(k, "seg", p2, func() Policy { return rec }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hog occupies the segment's only core slot long enough that
+	// every task the doomed process submits stays queued in the policy.
+	spawnAttached(k, in, proc, "hog", func(kt *kernel.Thread, task *Task) {
+		kt.Compute(40 * sim.Millisecond)
+	})
+
+	const n = 8
+	k.SpawnThread(p2, "spawner", func(kt *kernel.Thread) {
+		w := in.NewWorker(kt)
+		for i := 0; i < n; i++ {
+			task := in.NewTask(w, p2.PID, "doomed")
+			if task.State() != TaskBlocked {
+				t.Errorf("task %d state = %v before submit", task.ID, task.State())
+			}
+			in.Submit(task)
+			if task.State() != TaskReady {
+				t.Errorf("task %d not queued (state %v); hog should hold the core", task.ID, task.State())
+			}
+		}
+		in.DisconnectProcess(p2.PID)
+	})
+	mustRun(t, eng)
+
+	if len(rec.removed) != n {
+		t.Fatalf("policy saw %d removals, want %d: %v", len(rec.removed), n, rec.removed)
+	}
+	if !sort.IntsAreSorted(rec.removed) {
+		t.Fatalf("DisconnectProcess withdrew tasks in non-deterministic order: %v", rec.removed)
+	}
+}

@@ -2,6 +2,7 @@ package nosv
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hw"
 	"repro/internal/kernel"
@@ -303,12 +304,23 @@ func (in *Instance) WakeForShutdown(w *Worker) {
 // DisconnectProcess implements nosv_shutdown for one process: queued tasks
 // are withdrawn. Running tasks are left to finish; glibcv drains its cache
 // before calling this.
+//
+// Withdrawal happens in ascending task-ID order: pc.tasks is a map, and
+// handing its random iteration order to policy.Remove would make the
+// policy's residual queue state (and any removal-order bookkeeping a
+// policy keeps) depend on the run, not the seed — the same class of bug
+// as the omp.Runtime.Shutdown map-order teardown fixed in PR 3.
 func (in *Instance) DisconnectProcess(pid kernel.Pid) {
 	pc := in.procs[pid]
 	if pc == nil {
 		return
 	}
+	doomed := make([]*Task, 0, len(pc.tasks))
 	for t := range pc.tasks {
+		doomed = append(doomed, t)
+	}
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].ID < doomed[j].ID })
+	for _, t := range doomed {
 		if t.state == TaskReady {
 			in.policy.Remove(t)
 			t.state = TaskDone

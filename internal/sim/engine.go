@@ -38,7 +38,8 @@ type Engine struct {
 // NewEngine returns an engine whose RNG streams derive from seed.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
-		rng:  NewRand(seed),
+		rng: NewRand(seed),
+		//lint:allow goleak(unbuffered back channel is the engine half of the proc coroutine handoff; see Proc.Spawn)
 		back: make(chan struct{}),
 	}
 }

@@ -64,15 +64,26 @@ func (p *Proc) String() string { return fmt.Sprintf("proc %d (%s)", p.ID, p.Name
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.nextPID++
 	p := &Proc{
-		ID:     e.nextPID,
-		Name:   name,
-		eng:    e,
+		ID:   e.nextPID,
+		Name: name,
+		eng:  e,
+		//lint:allow goleak(unbuffered resume channel is the proc half of the engine's strict coroutine handoff)
 		resume: make(chan struct{}),
 		state:  ProcCreated,
 	}
 	e.procs = append(e.procs, p)
 	e.live++
+	// This goroutine and the channel operations below are the engine's
+	// coroutine-handoff machinery — the ONE sanctioned use of host
+	// concurrency in the deterministic core. The unbuffered
+	// resume/back pair enforces strict alternation: exactly one
+	// goroutine (the engine or one proc) is ever runnable, so the Go
+	// scheduler has no choices to make and no ordering can leak into
+	// simulation output. Everything above this layer must use engine
+	// events; goleak enforces that.
+	//lint:allow goleak(coroutine handoff: proc goroutines run strictly one-at-a-time under engine control)
 	go func() {
+		//lint:allow goleak(coroutine handoff receive; see Spawn comment)
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
@@ -83,6 +94,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 			p.state = ProcExited
 			e.live--
 			e.cur = nil
+			//lint:allow goleak(coroutine handoff send; see Spawn comment)
 			e.back <- struct{}{}
 		}()
 		if p.killed {
@@ -135,7 +147,9 @@ func (e *Engine) dispatch(p *Proc) {
 	}
 	e.cur = p
 	p.state = ProcRunning
+	//lint:allow goleak(coroutine handoff send; see Spawn comment)
 	p.resume <- struct{}{}
+	//lint:allow goleak(coroutine handoff receive; see Spawn comment)
 	<-e.back
 }
 
@@ -148,7 +162,9 @@ func (p *Proc) Park() {
 	}
 	p.state = ProcParked
 	e.cur = nil
+	//lint:allow goleak(coroutine handoff send; see Spawn comment)
 	e.back <- struct{}{}
+	//lint:allow goleak(coroutine handoff receive; see Spawn comment)
 	<-p.resume
 	if p.killed {
 		panic(killSentinel{})
