@@ -3,12 +3,13 @@
 # simulation; raise BENCHTIME for statistically stable ns/op.
 SHELL := /bin/bash
 BENCHTIME ?= 1x
-# The internal/sim microbenchmarks are nanosecond-scale and batched, so
-# one iteration only measures pool warm-up; they get a real iteration
-# count while the artefact benchmarks stay at one full simulation each.
+# The internal/sim and internal/sim/pdes microbenchmarks are
+# nanosecond-scale and batched, so one iteration only measures pool
+# warm-up; they get a real iteration count while the artefact benchmarks
+# stay at one full simulation each.
 SIM_BENCHTIME ?= 100000x
 BENCH     ?= .
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR7.json
 
 .PHONY: test race lint bench bench-json quick
 
@@ -45,9 +46,9 @@ quick:
 bench:
 	set -o pipefail; \
 	go test -bench=$(BENCH) -benchtime=$(BENCHTIME) -benchmem -run='^$$' \
-		$$(go list ./... | grep -v '/internal/sim$$') | tee bench.txt && \
+		$$(go list ./... | grep -v -e '/internal/sim$$' -e '/internal/sim/pdes$$') | tee bench.txt && \
 	go test -bench=$(BENCH) -benchtime=$(SIM_BENCHTIME) -benchmem -run='^$$' \
-		./internal/sim | tee -a bench.txt
+		./internal/sim ./internal/sim/pdes | tee -a bench.txt
 
 # bench-json runs the tier-1 benchmarks and writes the machine-readable
 # perf trajectory (ns/op + allocs/op + sim metrics per benchmark). CI

@@ -77,6 +77,28 @@ func TestDiffFlagsAnyAllocIncrease(t *testing.T) {
 	}
 }
 
+func TestDiffAllocNoiseBand(t *testing.T) {
+	// Whole-simulation benchmarks at -benchtime=1x pick up a couple of
+	// stray runtime allocations per run; the gate must absorb those
+	// without letting a real per-op leak (which scales with the event
+	// count) slip through.
+	old := mkReport(
+		Benchmark{Name: "BenchmarkJitter", Package: "p", NsPerOp: 100, AllocsPerOp: fp(5000)},
+		Benchmark{Name: "BenchmarkLeak", Package: "p", NsPerOp: 100, AllocsPerOp: fp(5000)},
+	)
+	new := mkReport(
+		Benchmark{Name: "BenchmarkJitter", Package: "p", NsPerOp: 100, AllocsPerOp: fp(5003)}, // runtime noise
+		Benchmark{Name: "BenchmarkLeak", Package: "p", NsPerOp: 100, AllocsPerOp: fp(5100)},   // real leak
+	)
+	deltas := diffReports(old, new)
+	if d := deltaByKey(t, deltas, "p.BenchmarkJitter"); d.allocs {
+		t.Fatalf("+3 allocs on a 5000-alloc run flagged as a regression: %+v", d)
+	}
+	if d := deltaByKey(t, deltas, "p.BenchmarkLeak"); !d.allocs {
+		t.Fatalf("+100 allocs on a 5000-alloc run not flagged: %+v", d)
+	}
+}
+
 func TestDiffAddedAndRemovedAreInformational(t *testing.T) {
 	old := mkReport(
 		Benchmark{Name: "BenchmarkGone", Package: "p", NsPerOp: 10},

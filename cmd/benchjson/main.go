@@ -16,7 +16,8 @@
 //
 // which prints a per-benchmark comparison and exits non-zero if any
 // benchmark's allocs/op increased or its ns/op regressed by more than
-// 10% (wall time is noisy; allocation counts are exact).
+// 10% (wall time is noisy; allocation counts are near-exact — see the
+// noise band in diff.go).
 package main
 
 import (

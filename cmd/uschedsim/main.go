@@ -21,6 +21,11 @@
 //	            be replicated under independent random streams (0, the
 //	            default, keeps the paper seeds: output stays
 //	            byte-identical run to run)
+//	-shards N   spread each fleet cell (the cluster scenario) over N
+//	            conservative-parallel engine shards so one cell can use
+//	            several host cores; tables are byte-identical for any N
+//	            (0, the default, keeps one shared engine per cell;
+//	            scenarios without a fleet ignore the flag)
 //	-json       print the per-cell metrics report as JSON instead of tables
 //	-out FILE   also write the metrics report to FILE (.csv selects CSV)
 //	-trace FILE instead of sweeping, run one representative cell of the
@@ -70,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outPath := fs.String("out", "", "write the metrics report to `file` (.csv selects CSV, otherwise JSON)")
 	tracePath := fs.String("trace", "", "run one representative traced cell and write Chrome trace-event JSON to `file`")
 	seed := fs.Uint64("seed", 0, "replace each scenario's default RNG seed (0 keeps the paper seeds; output is then byte-identical)")
+	shards := fs.Int("shards", 0, "spread each fleet cell over `N` conservative-parallel engine shards (0 keeps one shared engine; tables are byte-identical for any N)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	fs.Usage = func() { usage(fs) }
@@ -160,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scenarios = []*harness.Scenario{s}
 	}
 
-	opt := harness.Opts{Quick: *quick, Seed: *seed}
+	opt := harness.Opts{Quick: *quick, Seed: *seed, Shards: *shards}
 	if *tracePath != "" {
 		return traceCmd(scenarios, cmd, opt, *asJSON || *outPath != "", *tracePath, stderr)
 	}

@@ -197,6 +197,35 @@ func TestSeedFlagReplicatesSweeps(t *testing.T) {
 	}
 }
 
+func TestShardsFlagRecordedAndInert(t *testing.T) {
+	// -shards must be recorded in the report, and scenarios without a
+	// fleet must ignore it entirely: same tables, byte for byte. (The
+	// cluster scenario's byte-identity across shard counts is covered in
+	// internal/experiments and internal/cluster.)
+	code, def, _ := runCLI(t, "cholesky", "-quick")
+	if code != 0 {
+		t.Fatal("default run failed")
+	}
+	code, sharded, errOut := runCLI(t, "cholesky", "-quick", "-shards", "3")
+	if code != 0 {
+		t.Fatalf("sharded run failed: %s", errOut)
+	}
+	if def != sharded {
+		t.Fatal("-shards changed a scenario with no fleet")
+	}
+	code, out, _ := runCLI(t, "cholesky", "-quick", "-json", "-shards", "3")
+	if code != 0 {
+		t.Fatal("sharded -json run failed")
+	}
+	var rep harness.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 3 {
+		t.Fatalf("report shards = %d, want 3", rep.Shards)
+	}
+}
+
 func TestTraceFlagWritesChromeJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	code, out, errOut := runCLI(t, "schedcmp", "-quick", "-trace", path)

@@ -59,3 +59,33 @@ func BenchmarkClusterDispatchLeastOutstanding(b *testing.B) {
 func BenchmarkClusterDispatchConsistentHash(b *testing.B) {
 	benchDispatch(b, func() Router { return NewConsistentHash() })
 }
+
+// BenchmarkClusterDispatchSharded is the sharded counterpart of the
+// dispatch benchmark: the same 8-node fleet over 4 shards, so every
+// request pays two cross-shard message hops plus its slice of the
+// window barriers. The delta against BenchmarkClusterDispatchRoundRobin
+// is the coordination cost sharding must amortise with real per-node
+// work (here the backends are free, so this is the worst case).
+func BenchmarkClusterDispatchSharded(b *testing.B) {
+	const nodes, shards, reqs = 8, 4, 2048
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewSharded(Config{
+			Net:      Network{RequestLatency: 50 * sim.Microsecond, ReplyLatency: 50 * sim.Microsecond, RequestBytes: 1 << 10, ReplyBytes: 16 << 10, LinkBandwidth: 10},
+			Sessions: 64,
+		}, NewRoundRobin(), shards, 7)
+		for n := 0; n < nodes; n++ {
+			n := n
+			c.AddNode(nodeName(n), nil, func(done func(id int)) Backend {
+				return &benchBackend{eng: c.NodeEngine(n), service: sim.Duration(1+n) * sim.Millisecond, done: done}
+			})
+		}
+		c.Serve(&load.Poisson{Rate: 5000}, reqs)
+		if _, err := c.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		if c.Completed() != reqs {
+			b.Fatalf("completed %d of %d", c.Completed(), reqs)
+		}
+	}
+}

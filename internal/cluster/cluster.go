@@ -16,6 +16,22 @@
 // draws from the engine's "cluster/router" stream, and arrivals from
 // "cluster/client" — so any cluster run is byte-reproducible for any
 // host parallelism.
+//
+// # Sharded fleets
+//
+// NewSharded spreads the fleet over several engines advanced by a
+// conservative-parallel coordinator (sim/pdes): the client, router, and
+// end-to-end meter live on shard 0, node i on shard i%N, and every
+// router→node dispatch and node→client reply crosses shards as a
+// timestamped pdes message. The network's per-hop propagation delay is
+// the lookahead — every cross-shard interaction pays at least one hop —
+// so safe windows need no machinery beyond the barrier. All timestamps
+// (arrival at the node, completion, reply arrival) are the same virtual
+// instants the single shared engine produces, so tables are
+// byte-identical for any shard count, and shards=1 IS the shared-engine
+// path. Each piece of cluster state has a home shard: routing state,
+// flights, request links, and the end-to-end meter on shard 0; each
+// node's meter, reply link, and in-flight set on its own shard.
 package cluster
 
 import (
@@ -25,6 +41,7 @@ import (
 	"repro/internal/load"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/sim/pdes"
 	"repro/internal/stack"
 )
 
@@ -55,6 +72,16 @@ type Node struct {
 	reqLink, repLink link
 	outstanding      int
 	dispatched       int
+
+	// eng is the engine the node's state is homed on: the cluster's
+	// shared engine, or the node's shard engine when sharded. The
+	// backend, node meter, reply link, and inflight set are touched only
+	// in this engine's event context.
+	eng   *sim.Engine
+	shard *pdes.Shard // nil when the cluster is unsharded
+	// inflight tracks requests between arrival at the node and
+	// completion, keyed by request id.
+	inflight map[int]*flight
 }
 
 // Outstanding returns the node's dispatched-but-unreplied request count
@@ -89,19 +116,28 @@ type flight struct {
 	node int
 }
 
-// Cluster is a fleet of nodes behind a router on one shared engine.
+// Cluster is a fleet of nodes behind a router on one shared engine, or
+// — when built with NewSharded — spread over several engines advanced
+// in conservative lockstep by a pdes.Group.
 type Cluster struct {
+	// Eng is the client-edge engine: arrivals, routing, and end-to-end
+	// metering run here. Unsharded clusters put everything on it;
+	// sharded clusters make it shard 0's engine.
 	Eng *sim.Engine
 
 	cfg    Config
 	router Router
 	nodes  []*Node
 	meter  *load.Meter // end-to-end: submission to reply arrival
-	flight map[int]*flight
+
+	group  *pdes.Group // nil when unsharded
+	shards []*pdes.Shard
+	client *pdes.Shard // shard 0: the client edge's home
 
 	src       load.Source
 	total     int
 	completed int
+	doneAt    sim.Time // instant the final reply arrived
 	served    bool
 }
 
@@ -112,8 +148,89 @@ func New(eng *sim.Engine, cfg Config, r Router) *Cluster {
 		cfg:    cfg,
 		router: r,
 		meter:  load.NewMeter(cfg.SLO),
-		flight: make(map[int]*flight),
 	}
+}
+
+// NewSharded builds a cluster spread over `shards` engines advanced in
+// conservative lockstep (see the package comment): the client edge on
+// shard 0, node i on shard i%shards. Build each node's stack.System on
+// NodeEngine(i), not on Eng. Every shard engine derives from the same
+// seed — only the client shard consumes engine RNG streams, and node
+// systems root their streams at their own seeds — so the simulated
+// timeline is byte-identical for any shard count.
+//
+// shards <= 1 returns exactly New(sim.NewEngine(seed), cfg, r): the
+// shared-engine path with no coordinator.
+//
+// The cross-shard lookahead is min(RequestLatency, ReplyLatency) —
+// every cross-shard interaction is a network hop — so sharded clusters
+// need a positive propagation delay in both directions.
+func NewSharded(cfg Config, r Router, shards int, seed uint64) *Cluster {
+	if shards <= 1 {
+		return New(sim.NewEngine(seed), cfg, r)
+	}
+	look := cfg.Net.RequestLatency
+	if cfg.Net.ReplyLatency < look {
+		look = cfg.Net.ReplyLatency
+	}
+	if look <= 0 {
+		panic("cluster: sharded mode needs positive request and reply latencies (they bound the lookahead)")
+	}
+	g := pdes.New(look)
+	ss := make([]*pdes.Shard, shards)
+	for i := range ss {
+		ss[i] = g.AddShard(sim.NewEngine(seed))
+	}
+	c := New(ss[0].Engine(), cfg, r)
+	c.group = g
+	c.shards = ss
+	c.client = ss[0]
+	return c
+}
+
+// NodeEngine returns the engine node index i will live on: the shared
+// engine, or shard i%shards when sharded. Build node i's stack.System
+// on this engine before AddNode.
+func (c *Cluster) NodeEngine(i int) *sim.Engine {
+	if c.group == nil {
+		return c.Eng
+	}
+	return c.shards[i%len(c.shards)].Engine()
+}
+
+// Shards reports the shard count (1 when unsharded).
+func (c *Cluster) Shards() int {
+	if c.group == nil {
+		return 1
+	}
+	return len(c.shards)
+}
+
+// Now returns the cluster's current virtual time: the shared engine's
+// clock, or the latest shard clock when sharded.
+func (c *Cluster) Now() sim.Time {
+	if c.group == nil {
+		return c.Eng.Now()
+	}
+	return c.group.Now()
+}
+
+// Elapsed returns the run's virtual duration for reporting. Unsharded
+// clusters report the engine's final clock — the historical value,
+// preserved byte-for-byte. Sharded completed runs report the instant
+// the final reply reached the client: teardown drains remote shards one
+// lookahead later, which is coordination bookkeeping rather than
+// workload, so the reply instant is the value that is invariant across
+// shard counts (and equals the unsharded clock up to the same-instant
+// drain events).
+func (c *Cluster) Elapsed() sim.Duration {
+	if c.group == nil {
+		return sim.Duration(c.Eng.Now())
+	}
+	if c.served && c.completed == c.total {
+		return sim.Duration(c.doneAt)
+	}
+	return sim.Duration(c.group.Now())
 }
 
 // Router returns the cluster's routing policy.
@@ -140,7 +257,20 @@ func (c *Cluster) AddNode(name string, sys *stack.System, newBackend func(done f
 		}
 	}
 	ni := len(c.nodes)
-	n := &Node{Name: name, Sys: sys, meter: load.NewMeter(c.cfg.SLO)}
+	n := &Node{
+		Name: name, Sys: sys, meter: load.NewMeter(c.cfg.SLO),
+		eng:      c.NodeEngine(ni),
+		inflight: make(map[int]*flight),
+	}
+	if c.group != nil {
+		n.shard = c.shards[ni%len(c.shards)]
+	}
+	if sys != nil && sys.Eng != n.eng {
+		// A node system built on the wrong engine would run on a foreign
+		// shard's timeline — events would fire under another shard's
+		// clock and race its worker.
+		panic("cluster: node " + name + " system not built on NodeEngine(" + fmt.Sprint(ni) + ")")
+	}
 	c.nodes = append(c.nodes, n)
 	n.backend = newBackend(func(id int) { c.nodeDone(ni, id) })
 	return n
@@ -172,7 +302,9 @@ func (c *Cluster) Serve(src load.Source, n int) {
 }
 
 // submit routes one arrival: meter it, pick the node, and send the
-// request across the node's link.
+// request across the node's link. Runs on the client engine; a node on
+// another shard receives the request as a cross-shard message delivered
+// at the same virtual instant the shared engine would have used.
 func (c *Cluster) submit(id int) {
 	now := c.Eng.Now()
 	c.meter.Submitted(id, now)
@@ -184,75 +316,121 @@ func (c *Cluster) submit(id int) {
 	n.dispatched++
 	n.outstanding++
 	f := &flight{c: c, id: id, node: ni}
-	c.flight[id] = f
 	d := n.reqLink.delay(now, c.cfg.Net.RequestLatency, c.cfg.Net.RequestBytes, c.cfg.Net.LinkBandwidth)
-	c.Eng.AfterFunc(d, deliverFlight, f)
+	if n.eng == c.Eng {
+		c.Eng.AfterFunc(d, deliverFlight, f)
+	} else {
+		// d >= RequestLatency >= lookahead: every hop delay satisfies
+		// the conservative bound by construction.
+		c.client.Send(n.shard, now.Add(d), deliverFlight, f)
+	}
 }
 
-// deliverFlight is the request's arrival at its node.
+// deliverFlight is the request's arrival at its node. Runs on the
+// node's engine.
 func deliverFlight(arg any) {
 	f := arg.(*flight)
 	n := f.c.nodes[f.node]
-	n.meter.Submitted(f.id, f.c.Eng.Now())
+	n.inflight[f.id] = f
+	n.meter.Submitted(f.id, n.eng.Now())
 	n.backend.Submit(f.id)
 }
 
 // nodeDone is the backend completion callback: meter the node-internal
-// latency and send the reply back across the link.
+// latency and send the reply back across the link. Runs on the node's
+// engine.
 func (c *Cluster) nodeDone(ni, id int) {
-	now := c.Eng.Now()
 	n := c.nodes[ni]
+	now := n.eng.Now()
 	n.meter.Completed(id, now)
-	f := c.flight[id]
+	f := n.inflight[id]
 	if f == nil || f.node != ni {
 		panic(fmt.Sprintf("cluster: node %d completed unknown request %d", ni, id))
 	}
+	delete(n.inflight, id)
 	d := n.repLink.delay(now, c.cfg.Net.ReplyLatency, c.cfg.Net.ReplyBytes, c.cfg.Net.LinkBandwidth)
-	c.Eng.AfterFunc(d, replyFlight, f)
+	if n.eng == c.Eng {
+		c.Eng.AfterFunc(d, replyFlight, f)
+	} else {
+		n.shard.Send(c.client, now.Add(d), replyFlight, f)
+	}
 }
 
 // replyFlight is the reply's arrival back at the client edge: close the
 // end-to-end measurement and, after the final reply, drain the fleet.
+// Runs on the client engine; remote nodes receive the stop one
+// lookahead later (the earliest safe instant), after all metered work
+// is already done.
 func replyFlight(arg any) {
 	f := arg.(*flight)
 	c := f.c
 	now := c.Eng.Now()
 	c.meter.Completed(f.id, now)
-	delete(c.flight, f.id)
 	c.nodes[f.node].outstanding--
 	c.completed++
 	c.src.Completed(f.id)
 	if c.completed == c.total {
+		c.doneAt = now
 		for _, n := range c.nodes {
-			n.backend.Stop()
+			if n.eng == c.Eng {
+				n.backend.Stop()
+			} else {
+				c.client.Send(n.shard, now.Add(c.group.Lookahead()), stopNode, n)
+			}
 		}
 	}
 }
 
+// stopNode drains one remote node's backend, in its own shard context.
+func stopNode(arg any) { arg.(*Node).backend.Stop() }
+
 // Completed reports how many requests finished end to end.
 func (c *Cluster) Completed() int { return c.completed }
 
-// Run drives the shared engine to completion with a horizon (zero means
-// none); it reports whether the horizon was hit and tears the whole
-// fleet down in that case, exactly like stack.System.Run does for one
-// machine.
+// Run drives the fleet to completion with a horizon (zero means none);
+// it reports whether the horizon was hit and tears the whole fleet down
+// in that case, exactly like stack.System.Run does for one machine.
+// Sharded clusters advance all shards in lockstep windows; the caller
+// still sees one blocking call with the same contract.
 func (c *Cluster) Run(horizon sim.Duration) (timedOut bool, err error) {
-	_, hit, err := c.Eng.RunHorizon(horizon)
+	var hit bool
+	if c.group == nil {
+		_, hit, err = c.Eng.RunHorizon(horizon)
+	} else {
+		_, hit, err = c.group.RunHorizon(horizon)
+	}
 	if err != nil {
 		return false, err
 	}
-	if hit && (c.completed < c.total || c.Eng.Live() > 0) {
-		c.Eng.KillAll()
+	if hit && (c.completed < c.total || c.live() > 0) {
+		c.killAll()
 		return true, nil
 	}
 	if c.served && c.completed < c.total {
-		// The engine ran dry before the horizon with requests missing:
+		// The engines ran dry before the horizon with requests missing:
 		// a backend lost a request (done not called) — surface it
 		// rather than letting partial stats pass as a clean run.
 		return false, fmt.Errorf("cluster: engine ran dry with %d of %d requests completed",
 			c.completed, c.total)
 	}
 	return false, nil
+}
+
+// live counts live procs across the fleet's engines.
+func (c *Cluster) live() int {
+	if c.group == nil {
+		return c.Eng.Live()
+	}
+	return c.group.Live()
+}
+
+// killAll tears down every live proc on every engine.
+func (c *Cluster) killAll() {
+	if c.group == nil {
+		c.Eng.KillAll()
+		return
+	}
+	c.group.KillAll()
 }
 
 // NodeStats is one node's slice of a cluster run.

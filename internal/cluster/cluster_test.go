@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/load"
 	"repro/internal/sim"
+	"repro/internal/stack"
 )
 
 // stubBackend is a single-server queue with a fixed service time,
@@ -51,6 +52,118 @@ func stubCluster(t *testing.T, cfg Config, r Router, service []sim.Duration) (*C
 }
 
 func nodeName(i int) string { return string(rune('a'+i)) + "-node" }
+
+// shardedStubCluster mirrors stubCluster over NewSharded: each stub
+// backend is built on its node's own engine (NodeEngine), so it works
+// for any shard count including 1.
+func shardedStubCluster(t *testing.T, cfg Config, r Router, shards int, service []sim.Duration) (*Cluster, []*stubBackend) {
+	t.Helper()
+	c := NewSharded(cfg, r, shards, 1)
+	backends := make([]*stubBackend, len(service))
+	for i, s := range service {
+		i, s := i, s
+		c.AddNode(nodeName(i), nil, func(done func(id int)) Backend {
+			backends[i] = &stubBackend{eng: c.NodeEngine(i), service: s, done: done}
+			return backends[i]
+		})
+	}
+	return c, backends
+}
+
+// shardNet is a network with real propagation delays in both directions
+// (sharded mode derives its lookahead from them) plus finite link
+// bandwidth so serialisation state is exercised across shards too.
+var shardNet = Network{
+	RequestLatency: 2 * sim.Millisecond,
+	ReplyLatency:   3 * sim.Millisecond,
+	RequestBytes:   1 << 10,
+	ReplyBytes:     16 << 10,
+	LinkBandwidth:  10,
+}
+
+func TestShardedMatchesSharedEngine(t *testing.T) {
+	// The same fleet and workload must produce identical stats for any
+	// shard count — including the end-to-end meter, per-node meters,
+	// dispatch counts, and merged percentiles — and identical Elapsed.
+	service := []sim.Duration{2 * sim.Millisecond, 7 * sim.Millisecond, 3 * sim.Millisecond, 5 * sim.Millisecond}
+	run := func(shards int) (Stats, sim.Duration) {
+		c, backends := shardedStubCluster(t, Config{Net: shardNet, SLO: 40 * sim.Millisecond, Sessions: 6},
+			NewLeastOutstanding(), shards, service)
+		c.Serve(&load.Bursty{Base: 200, Burst: 2000, MeanDwell: 10 * sim.Millisecond}, 120)
+		if _, err := c.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if c.Completed() != 120 {
+			t.Fatalf("%d shards: completed %d of 120", shards, c.Completed())
+		}
+		for i, b := range backends {
+			if !b.stopped {
+				t.Fatalf("%d shards: backend %d not stopped", shards, i)
+			}
+		}
+		return c.Stats(), c.Elapsed()
+	}
+	ref, refElapsed := run(1)
+	for _, shards := range []int{2, 3, 4, 7} {
+		got, gotElapsed := run(shards)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%d shards diverged from shared engine:\n%+v\nvs\n%+v", shards, got, ref)
+		}
+		if gotElapsed != refElapsed {
+			t.Fatalf("%d shards elapsed %v, want %v", shards, gotElapsed, refElapsed)
+		}
+	}
+}
+
+func TestShardedHorizonTimesOut(t *testing.T) {
+	c, _ := shardedStubCluster(t, Config{Net: shardNet}, NewRoundRobin(), 3,
+		[]sim.Duration{sim.Second, sim.Second, sim.Second})
+	c.Serve(&load.Replay{}, 10)
+	timedOut, err := c.Run(100 * sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Fatal("horizon not reported")
+	}
+	if got := c.Stats().EndToEnd.Completed; got != 0 {
+		t.Fatalf("completed %d before horizon, want 0", got)
+	}
+}
+
+func TestShardedNeedsPositiveLatency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-latency sharded cluster accepted")
+		}
+	}()
+	NewSharded(Config{Net: Network{ReplyLatency: sim.Millisecond}}, NewRoundRobin(), 2, 1)
+}
+
+func TestShardedOneShardIsSharedEngine(t *testing.T) {
+	c := NewSharded(Config{}, NewRoundRobin(), 1, 1)
+	if c.group != nil || c.Shards() != 1 {
+		t.Fatal("shards=1 did not degenerate to the shared-engine path")
+	}
+	if c.NodeEngine(3) != c.Eng {
+		t.Fatal("NodeEngine != Eng on the shared-engine path")
+	}
+}
+
+func TestAddNodeRejectsWrongEngine(t *testing.T) {
+	// Passed through stack.System's engine check: a node system built on
+	// a foreign engine must be rejected before it can race a shard.
+	c := NewSharded(Config{Net: shardNet}, NewRoundRobin(), 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("node on wrong engine accepted")
+		}
+	}()
+	wrong := &stack.System{Eng: sim.NewEngine(99)} // node 0 homes on shard 0's engine
+	c.AddNode("x-node", wrong, func(done func(id int)) Backend {
+		return &stubBackend{}
+	})
+}
 
 func TestRoundRobinSpreadsEvenly(t *testing.T) {
 	c, backends := stubCluster(t, Config{}, NewRoundRobin(),

@@ -79,6 +79,12 @@ type ClusterConfig struct {
 	Models   []inference.Model
 	Horizon  sim.Duration
 	Seed     uint64
+
+	// Shards spreads each cell's fleet over this many engines advanced
+	// by the conservative-parallel coordinator (cluster.NewSharded);
+	// tables are byte-identical for any value. 0 or 1 runs the classic
+	// single shared engine.
+	Shards int
 }
 
 // DefaultCluster returns the scaled full sweep: a heterogeneous fleet
@@ -179,24 +185,25 @@ type ClusterCell struct {
 	TimedOut              bool
 }
 
-// runClusterCell builds the fleet on one shared engine and serves the
-// whole request train through the router. tracer, when non-nil, records
-// node 0's kernel events.
+// runClusterCell builds the fleet — on one shared engine, or over
+// cfg.Shards conservative-parallel shards — and serves the whole
+// request train through the router. tracer, when non-nil, records node
+// 0's kernel events.
 func runClusterCell(cfg ClusterConfig, shape TailShape, scheme TailScheme, router ClusterRouter, rate float64, tracer *trace.Buffer) ClusterCell {
-	eng := sim.NewEngine(cfg.Seed)
-	cl := cluster.New(eng, cluster.Config{
+	cl := cluster.NewSharded(cluster.Config{
 		Net:      cfg.Net,
 		SLO:      cfg.SLO,
 		Sessions: cfg.Sessions,
-	}, router.New())
+	}, router.New(), cfg.Shards, cfg.Seed)
 	params := kernel.DefaultSchedParams()
 	if scheme.KernelClass != "" {
 		params.DefaultClass = scheme.KernelClass
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		// Each node owns a private RNG namespace rooted at a distinct
-		// seed, so fleets are deterministic and nodes independent.
-		sys := stack.NewOnEngine(eng, cfg.nodeMachine(i), cfg.Seed+uint64(i+1)*1000003, params)
+		// Each node lives on its home shard's engine and owns a private
+		// RNG namespace rooted at a distinct seed, so fleets are
+		// deterministic — and identical — for any shard count.
+		sys := stack.NewOnEngine(cl.NodeEngine(i), cfg.nodeMachine(i), cfg.Seed+uint64(i+1)*1000003, params)
 		if tracer != nil && i == 0 {
 			sys.K.Tracer = tracer
 		}
@@ -221,7 +228,7 @@ func runClusterCell(cfg ClusterConfig, shape TailShape, scheme TailScheme, route
 	return ClusterCell{
 		Shape: shape.Name, Scheme: scheme.Name, Router: router.Name, Load: rate,
 		Stats:    cl.Stats(),
-		Elapsed:  sim.Duration(eng.Now()),
+		Elapsed:  cl.Elapsed(),
 		TimedOut: timedOut || cl.Completed() < cfg.Requests,
 	}
 }

@@ -359,3 +359,25 @@ func TestClusterParallelMatchesSerial(t *testing.T) {
 		t.Fatalf("cluster tables differ between par 1 and par 4:\n%s\n---\n%s", serial, parallel)
 	}
 }
+
+func TestClusterShardsMatchSharedEngine(t *testing.T) {
+	// The sharded-fleet contract at the scenario level: running the real
+	// cluster cells (full per-node stacks, kernels, inference services)
+	// over conservative-parallel shards must render byte-identical
+	// tables for any shard count — shard 1 IS the shared-engine path.
+	cfg := QuickCluster()
+	cfg.Shapes = TailShapes()[:1] // poisson
+	cfg.Loads = []float64{2.0}
+	cfg.Routers = ClusterRouters()[:2] // rr, p2c
+	run := func(shards int) string {
+		c := cfg
+		c.Shards = shards
+		return AssembleCluster(c, harness.Run(ClusterJobs(c), 1)).Render()
+	}
+	ref := run(1)
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); got != ref {
+			t.Fatalf("cluster tables differ between 1 and %d shards:\n%s\n---\n%s", shards, ref, got)
+		}
+	}
+}

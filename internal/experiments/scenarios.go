@@ -169,6 +169,9 @@ func clusterConfig(opt harness.Opts) ClusterConfig {
 		cfg = QuickCluster()
 	}
 	cfg.Seed = opt.ApplySeed(cfg.Seed)
+	if opt.Shards > 0 {
+		cfg.Shards = opt.Shards
+	}
 	return cfg
 }
 

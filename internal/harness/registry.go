@@ -19,6 +19,12 @@ type Opts struct {
 	// cmd/uschedsim -seed flag). Zero keeps the per-scenario paper
 	// seeds, so default output stays byte-identical.
 	Seed uint64
+	// Shards, when > 1, spreads each fleet cell over this many
+	// conservative-parallel engine shards (the cmd/uschedsim -shards
+	// flag). Tables stay byte-identical for any value; scenarios without
+	// a fleet ignore it. Zero keeps each scenario's default (one shared
+	// engine).
+	Shards int
 }
 
 // ApplySeed returns the scenario's default seed, or the override when

@@ -20,6 +20,9 @@ type Report struct {
 	// Seed records a -seed override (0 means the per-scenario default
 	// seeds, omitted from JSON so default reports are unchanged).
 	Seed uint64 `json:"seed,omitempty"`
+	// Shards records a -shards override (0 means each scenario's default
+	// single shared engine, omitted so default reports are unchanged).
+	Shards int `json:"shards,omitempty"`
 	// Cells holds one metric row per simulation cell, in declaration
 	// order.
 	Cells []metrics.CellMetric `json:"cells"`
@@ -35,7 +38,7 @@ type Report struct {
 
 // Report converts the sweep's metrics into a serialisable report.
 func (sw *Sweep) Report() *Report {
-	r := &Report{Workers: sw.Par, Quick: sw.Opt.Quick, Seed: sw.Opt.Seed, WallSeconds: sw.HostTime.Seconds()}
+	r := &Report{Workers: sw.Par, Quick: sw.Opt.Quick, Seed: sw.Opt.Seed, Shards: sw.Opt.Shards, WallSeconds: sw.HostTime.Seconds()}
 	for _, sr := range sw.Scenarios {
 		for _, res := range sr.Results {
 			r.Cells = append(r.Cells, res.Metric)

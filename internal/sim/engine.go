@@ -215,6 +215,20 @@ func (e *Engine) fire(ev *event) {
 // remain parked). A Run cut short by Stop consumes the stop request;
 // calling Run again resumes event processing.
 func (e *Engine) Run(until Time) (Time, error) {
+	return e.run(until, false)
+}
+
+// RunWindow processes events with at <= until exactly like Run, but an
+// empty queue means "window exhausted", not deadlock: parked procs may
+// be waiting on events another engine will inject at the next shard
+// barrier (see sim/pdes). The clock always ends at until, keeping shard
+// clocks in lockstep, so a window with no events is a pure clock
+// advance.
+func (e *Engine) RunWindow(until Time) (Time, error) {
+	return e.run(until, true)
+}
+
+func (e *Engine) run(until Time, window bool) (Time, error) {
 	for !e.stopped {
 		ev := e.peekNext()
 		if ev == nil {
@@ -238,10 +252,27 @@ func (e *Engine) Run(until Time) (Time, error) {
 		e.stopped = false
 		return e.now, nil
 	}
+	if window {
+		if until > e.now {
+			e.now = until
+		}
+		return e.now, nil
+	}
 	if e.live > 0 {
 		return e.now, fmt.Errorf("sim: deadlock at %v: %d procs parked with no pending events", e.now, e.live)
 	}
 	return e.now, nil
+}
+
+// NextEventTime returns the instant of the earliest queued live event
+// and whether one exists. Shard coordinators use it to derive the next
+// safe window bound without disturbing the queue.
+func (e *Engine) NextEventTime() (Time, bool) {
+	ev := e.peekNext()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
 }
 
 // RunAll runs with no horizon.

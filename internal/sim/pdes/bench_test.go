@@ -1,0 +1,82 @@
+package pdes
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkShardBarrier measures the pure window cost: four shards,
+// each with a self-rescheduling timer exactly one lookahead apart, so
+// every window runs every shard for one event and the barrier fan-out/
+// fan-in dominates. ns/op is the per-window round-trip paid at fleet
+// scale; steady state must not allocate.
+func BenchmarkShardBarrier(b *testing.B) {
+	const shards = 4
+	g, s := newGroupB(shards)
+	type ticker struct {
+		sh    *Shard
+		fn    func(any)
+		count int
+	}
+	ts := make([]*ticker, shards)
+	for i := range ts {
+		t := &ticker{sh: s[i]}
+		t.fn = func(arg any) {
+			tk := arg.(*ticker)
+			tk.count++
+			tk.sh.Engine().AfterFunc(look, tk.fn, tk)
+		}
+		ts[i] = t
+		s[i].Engine().AfterFunc(0, t.fn, t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Each horizon extension admits b.N further windows of width look.
+	if _, err := g.Run(sim.Time(0).Add(sim.Duration(b.N) * look)); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if ts[0].count < b.N {
+		b.Fatalf("ticks = %d, want >= %d", ts[0].count, b.N)
+	}
+}
+
+// BenchmarkCrossShardSend measures one message round trip: a request
+// hops from shard 0 to shard 1 and a reply hops back, covering Send,
+// the outbox, the barrier merge sort, and injection into the
+// destination engine. Reported ns/op is one full round trip (two
+// sends); steady state must not allocate.
+func BenchmarkCrossShardSend(b *testing.B) {
+	g, s := newGroupB(2)
+	var pong func(any)
+	var ping func(any)
+	count := 0
+	ping = func(any) {
+		s[0].Send(s[1], s[0].Now().Add(look), pong, nil)
+	}
+	pong = func(any) {
+		count++
+		s[1].Send(s[0], s[1].Now().Add(look), ping, nil)
+	}
+	s[0].Engine().AfterFunc(0, ping, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := g.Run(sim.Time(0).Add(sim.Duration(2*b.N) * look)); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if count < b.N {
+		b.Fatalf("round trips = %d, want >= %d", count, b.N)
+	}
+}
+
+// newGroupB mirrors newGroup without the testing.T plumbing.
+func newGroupB(n int) (*Group, []*Shard) {
+	g := New(look)
+	shards := make([]*Shard, n)
+	for i := range shards {
+		shards[i] = g.AddShard(sim.NewEngine(7))
+	}
+	return g, shards
+}

@@ -1,0 +1,384 @@
+// Package pdes implements conservative parallel discrete-event
+// simulation (classic Chandy–Misra–Bryant lookahead synchronisation)
+// over several sim.Engine shards.
+//
+// A Group owns N engines and advances them in lockstep safe windows: if
+// every cross-shard interaction takes at least `lookahead` of virtual
+// time to arrive, then all events strictly below
+//
+//	min(next event time across shards) + lookahead
+//
+// are causally independent across shards, and each shard may process
+// its slice of that window on its own host core without ever seeing an
+// event from the past. Cross-shard interactions are timestamped
+// messages (Shard.Send) buffered in per-shard outboxes during a window
+// and exchanged at the barrier, so no null-message machinery is needed
+// beyond the window bound itself.
+//
+// Determinism: window bounds derive only from queued event times (never
+// host timing), each shard appends to its own outbox in its own event
+// order, and the barrier injects the merged messages sorted by
+// (deliverAt, sendTime, source shard, source sequence) — a total order
+// that is a pure function of the simulated timeline. A Group therefore
+// produces byte-identical simulations at any host parallelism, and —
+// because message timestamps are the same virtual instants a single
+// shared engine would have used — a sharded run reproduces the
+// single-engine timeline exactly up to same-nanosecond ties between
+// unrelated events, which the scenarios' continuous-time workloads do
+// not generate (and the determinism tests verify).
+//
+// The host goroutines and channels below are the second sanctioned use
+// of host concurrency in the deterministic core (after the engine's
+// coroutine handoff): one worker per shard, commanded over unbuffered
+// channels, with a full barrier between windows — so the Go scheduler
+// chooses only *when* windows run, never their contents or order.
+package pdes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// message is one cross-shard interaction: fn(arg) runs on the
+// destination shard's engine at virtual time at.
+type message struct {
+	at   sim.Time // delivery instant (>= sendTime + lookahead)
+	sent sim.Time // source shard's clock at Send
+	src  int      // source shard id
+	seq  uint64   // per-source send counter (outbox order)
+	dst  int
+	fn   func(any)
+	arg  any
+}
+
+// messageLess is the barrier's total delivery order: delivery instant,
+// then send instant, then source shard, then the source's own send
+// order. The first two keys make the order shard-assignment-invariant
+// for the continuous-time workloads (distinct sends virtually never
+// share an exact nanosecond); the last two make it a total order
+// regardless.
+func messageLess(a, b *message) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.sent != b.sent {
+		return a.sent < b.sent
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// msgSlice sorts messages by messageLess. A named type with a pointer
+// receiver keeps the barrier's sort allocation-free (no per-window
+// closure or interface boxing).
+type msgSlice []*message
+
+func (m *msgSlice) Len() int           { return len(*m) }
+func (m *msgSlice) Less(i, j int) bool { return messageLess((*m)[i], (*m)[j]) }
+func (m *msgSlice) Swap(i, j int)      { (*m)[i], (*m)[j] = (*m)[j], (*m)[i] }
+
+// Shard is one engine's membership in a Group. All access to a shard's
+// engine (and to any simulation state homed on it) must happen either
+// inside that engine's event context or while the group is at a
+// barrier.
+type Shard struct {
+	g   *Group
+	id  int
+	eng *sim.Engine
+
+	outbox []*message // filled by Send during a window, drained at the barrier
+	free   []*message // recycled message storage (returned at the barrier)
+	seq    uint64
+
+	cmd chan sim.Time
+	res chan windowResult
+}
+
+// windowResult carries a shard worker's window outcome back to the
+// coordinator, including a recovered panic to re-raise there.
+type windowResult struct {
+	err      error
+	panicked any
+}
+
+// ID returns the shard's index within its group.
+func (s *Shard) ID() int { return s.id }
+
+// Engine returns the shard's engine. Simulation state homed on this
+// shard must be built on (and only ever touched from) this engine.
+func (s *Shard) Engine() *sim.Engine { return s.eng }
+
+// Now returns the shard engine's current virtual time.
+func (s *Shard) Now() sim.Time { return s.eng.Now() }
+
+// Send schedules fn(arg) on dst's engine at virtual time at. It must be
+// called from within s's own execution (an event callback or proc on
+// s's engine), and at must respect the group's lookahead:
+// at >= s.Now() + lookahead. Sends to the shard itself are legal and
+// simply take the barrier path like any other message.
+func (s *Shard) Send(dst *Shard, at sim.Time, fn func(any), arg any) {
+	if dst.g != s.g {
+		panic("pdes: Send across groups")
+	}
+	if min := s.eng.Now().Add(s.g.lookahead); at < min {
+		panic(fmt.Sprintf("pdes: send from shard %d at %v for %v violates lookahead %v",
+			s.id, s.eng.Now(), at, s.g.lookahead))
+	}
+	s.seq++
+	var m *message
+	if n := len(s.free); n > 0 {
+		m = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		m = new(message)
+	}
+	*m = message{at: at, sent: s.eng.Now(), src: s.id, seq: s.seq,
+		dst: dst.id, fn: fn, arg: arg}
+	s.outbox = append(s.outbox, m)
+}
+
+// Group is a set of engine shards advancing in conservative lockstep
+// windows.
+type Group struct {
+	shards    []*Shard
+	lookahead sim.Duration
+	merged    msgSlice // barrier scratch, reused across windows
+	active    []*Shard // window scratch: shards with work this window
+	running   bool
+}
+
+// New returns an empty group with the given lookahead — the minimum
+// virtual latency of any cross-shard interaction. It must be positive:
+// a zero lookahead admits no safe window.
+func New(lookahead sim.Duration) *Group {
+	if lookahead <= 0 {
+		panic("pdes: lookahead must be positive")
+	}
+	return &Group{lookahead: lookahead}
+}
+
+// Lookahead returns the group's safe-window width.
+func (g *Group) Lookahead() sim.Duration { return g.lookahead }
+
+// AddShard wraps eng as the group's next shard. All shards must be
+// added before the first Run.
+func (g *Group) AddShard(eng *sim.Engine) *Shard {
+	if g.running {
+		panic("pdes: AddShard during Run")
+	}
+	s := &Shard{g: g, id: len(g.shards), eng: eng}
+	g.shards = append(g.shards, s)
+	return s
+}
+
+// Shards returns the group's shards in id order.
+func (g *Group) Shards() []*Shard { return append([]*Shard(nil), g.shards...) }
+
+// Live reports the total number of live procs across all shard engines.
+func (g *Group) Live() int {
+	n := 0
+	for _, s := range g.shards {
+		n += s.eng.Live()
+	}
+	return n
+}
+
+// Now returns the latest shard clock — the group's notion of current
+// virtual time (shard clocks stay within one window of each other and
+// converge at barriers).
+func (g *Group) Now() sim.Time {
+	var now sim.Time
+	for _, s := range g.shards {
+		if t := s.eng.Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// KillAll terminates every live proc on every shard (see
+// sim.Engine.KillAll). Call it only at a barrier — i.e. after Run has
+// returned — to abandon a timed-out simulation.
+func (g *Group) KillAll() {
+	for _, s := range g.shards {
+		s.eng.KillAll()
+	}
+}
+
+// worker is one shard's window executor: it runs windows on command
+// until its cmd channel closes. Engine panics (including proc panics)
+// are recovered and shipped to the coordinator, which re-raises them.
+// The channels arrive as arguments so the goroutine never touches the
+// Shard's channel fields, which the coordinator clears after close.
+func (s *Shard) worker(cmd <-chan sim.Time, res chan<- windowResult) {
+	//lint:allow goleak(shard worker receive: pdes barrier protocol — the coordinator commands one window at a time and blocks on res, so exactly the commanded shards run between barriers)
+	for end := range cmd {
+		var wr windowResult
+		func() {
+			defer func() { wr.panicked = recover() }()
+			_, wr.err = s.eng.RunWindow(end)
+		}()
+		//lint:allow goleak(shard worker send: barrier result hand-back; the coordinator is always blocked on this receive)
+		res <- wr
+	}
+}
+
+// Run advances all shards in lockstep windows until every engine's
+// queue is dry (and no messages are in flight) or the next event lies
+// beyond until. It returns the group's final virtual time and an error
+// if the whole simulation deadlocked: procs alive somewhere but no
+// shard has events and no messages are pending. Like sim.Engine.Run, a
+// horizon in the past of every shard clock returns immediately.
+func (g *Group) Run(until sim.Time) (sim.Time, error) {
+	if len(g.shards) == 0 {
+		return 0, nil
+	}
+	g.running = true
+	defer func() { g.running = false }()
+
+	parallel := len(g.shards) > 1
+	if parallel {
+		for _, s := range g.shards {
+			//lint:allow goleak(unbuffered cmd channel is the coordinator half of the pdes barrier protocol; see package comment)
+			s.cmd = make(chan sim.Time)
+			//lint:allow goleak(unbuffered res channel is the worker half of the pdes barrier protocol; see package comment)
+			s.res = make(chan windowResult)
+			//lint:allow goleak(one worker goroutine per shard, commanded one window at a time with a full barrier between windows — shut down via close(cmd) before Run returns)
+			go s.worker(s.cmd, s.res)
+		}
+		defer func() {
+			for _, s := range g.shards {
+				//lint:allow goleak(worker shutdown: closing cmd ends the worker's range loop)
+				close(s.cmd)
+				s.cmd, s.res = nil, nil
+			}
+		}()
+	}
+
+	for {
+		// The safe bound: no shard can produce an effect on another
+		// before minNext + lookahead, so every event strictly below that
+		// is independent across shards.
+		var minNext sim.Time
+		any := false
+		for _, s := range g.shards {
+			if t, ok := s.eng.NextEventTime(); ok && (!any || t < minNext) {
+				minNext, any = t, true
+			}
+		}
+		if !any {
+			break
+		}
+		if minNext > until {
+			// Everything left is beyond the horizon: advance the clocks
+			// (forward only) and leave the queues for a later Run.
+			for _, s := range g.shards {
+				if _, err := s.eng.RunWindow(until); err != nil {
+					return g.Now(), err
+				}
+			}
+			return g.Now(), nil
+		}
+		end := minNext.Add(g.lookahead) - 1 // window is [.., minNext+lookahead)
+		if end > until {
+			end = until
+		}
+
+		if err := g.window(end, parallel); err != nil {
+			return g.Now(), err
+		}
+		g.exchange()
+	}
+
+	if live := g.Live(); live > 0 {
+		return g.Now(), fmt.Errorf("pdes: deadlock at %v: %d procs parked across %d shards with no pending events or messages",
+			g.Now(), live, len(g.shards))
+	}
+	return g.Now(), nil
+}
+
+// window runs every shard with work to end. Shards whose next event
+// lies beyond the window are skipped entirely — their clocks catch up
+// lazily — so a fleet with one hot shard pays no barrier fan-out.
+func (g *Group) window(end sim.Time, parallel bool) error {
+	if !parallel {
+		_, err := g.shards[0].eng.RunWindow(end)
+		return err
+	}
+	active := g.active[:0]
+	for _, s := range g.shards {
+		if t, ok := s.eng.NextEventTime(); ok && t <= end {
+			active = append(active, s)
+		}
+	}
+	g.active = active
+	if len(active) == 1 {
+		// One busy shard: run it inline, skip the channel round-trip.
+		_, err := active[0].eng.RunWindow(end)
+		return err
+	}
+	for _, s := range active {
+		//lint:allow goleak(barrier fan-out send: commands the shard's worker to run one window)
+		s.cmd <- end
+	}
+	var firstErr error
+	var panicked any
+	for _, s := range active {
+		//lint:allow goleak(barrier fan-in receive: collects the shard's window result; every commanded worker sends exactly one)
+		wr := <-s.res
+		if wr.panicked != nil && panicked == nil {
+			panicked = wr.panicked
+		}
+		if wr.err != nil && firstErr == nil {
+			firstErr = wr.err
+		}
+	}
+	if panicked != nil {
+		// Re-raise on the coordinator after the full barrier, so no
+		// worker is left mid-window.
+		panic(panicked)
+	}
+	return firstErr
+}
+
+// exchange drains every shard's outbox and injects the merged messages
+// into their destination engines in (at, sent, src, seq) order. Every
+// buffered message is for a future window (Send enforces the
+// lookahead), so injection order equals firing order at equal instants.
+func (g *Group) exchange() {
+	g.merged = g.merged[:0]
+	for _, s := range g.shards {
+		g.merged = append(g.merged, s.outbox...)
+		for i := range s.outbox {
+			s.outbox[i] = nil
+		}
+		s.outbox = s.outbox[:0]
+	}
+	if len(g.merged) == 0 {
+		return
+	}
+	sort.Sort(&g.merged)
+	for i, m := range g.merged {
+		g.shards[m.dst].eng.AtFunc(m.at, m.fn, m.arg)
+		m.fn, m.arg = nil, nil
+		g.shards[m.src].free = append(g.shards[m.src].free, m)
+		g.merged[i] = nil
+	}
+}
+
+// RunHorizon drives the group with an optional horizon (non-positive
+// means none), reporting whether the horizon was reached — the group
+// counterpart of sim.Engine.RunHorizon.
+func (g *Group) RunHorizon(horizon sim.Duration) (end sim.Time, hit bool, err error) {
+	until := sim.Forever
+	if horizon > 0 {
+		until = g.Now().Add(horizon)
+	}
+	end, err = g.Run(until)
+	return end, err == nil && end >= until, err
+}

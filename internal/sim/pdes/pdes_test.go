@@ -1,0 +1,204 @@
+package pdes
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+const look = 10 * sim.Millisecond
+
+// newGroup builds a group of n shards with the test lookahead, all
+// seeded identically.
+func newGroup(n int) (*Group, []*Shard) {
+	g := New(look)
+	shards := make([]*Shard, n)
+	for i := range shards {
+		shards[i] = g.AddShard(sim.NewEngine(7))
+	}
+	return g, shards
+}
+
+func TestCrossShardDeliveryOrder(t *testing.T) {
+	// Messages from several shards landing on shard 0 at identical and
+	// distinct instants must fire in (at, sent, src, seq) order — the
+	// sharded counterpart of the engine's (at, seq) contract.
+	g, s := newGroup(3)
+	var fired []string
+	record := func(arg any) { fired = append(fired, arg.(string)) }
+
+	at := sim.Time(0).Add(100 * sim.Millisecond)
+	s[1].Engine().After(1*sim.Millisecond, func() {
+		s[1].Send(s[0], at, record, "b-first")  // sent 1ms
+		s[1].Send(s[0], at, record, "b-second") // sent 1ms, later seq
+	})
+	s[2].Engine().After(1*sim.Millisecond, func() {
+		s[2].Send(s[0], at, record, "c-tie") // sent 1ms, src 2 > src 1
+	})
+	s[2].Engine().After(2*sim.Millisecond, func() {
+		s[2].Send(s[0], at, record, "c-later-send")                            // sent 2ms
+		s[2].Send(s[0], at.Add(-sim.Millisecond), record, "c-earlier-deliver") // earlier at wins overall
+	})
+	if _, err := g.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"c-earlier-deliver", "b-first", "b-second", "c-tie", "c-later-send"}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("delivery order %v, want %v", fired, want)
+	}
+}
+
+func TestLookaheadViolationPanics(t *testing.T) {
+	g, s := newGroup(2)
+	s[1].Engine().After(sim.Millisecond, func() {
+		// Delivery less than lookahead away: conservatively unsafe.
+		s[1].Send(s[0], s[1].Now().Add(look/2), func(any) {}, nil)
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lookahead violation not detected")
+		}
+		if !strings.Contains(fmt.Sprint(r), "violates lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	g.Run(sim.Forever)
+}
+
+func TestShardPanicReachesCoordinator(t *testing.T) {
+	g, s := newGroup(3)
+	s[2].Engine().After(sim.Millisecond, func() { panic("boom on shard 2") })
+	// Give the other shards work in the same window so the parallel
+	// fan-out path (not the single-active-shard inline path) runs.
+	s[0].Engine().After(sim.Millisecond, func() {})
+	s[1].Engine().After(sim.Millisecond, func() {})
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "boom on shard 2") {
+			t.Fatalf("shard panic not propagated: %v", r)
+		}
+	}()
+	g.Run(sim.Forever)
+}
+
+func TestDeadlockAcrossShards(t *testing.T) {
+	g, s := newGroup(2)
+	p := s[1].Engine().Spawn("stuck", func(p *sim.Proc) { p.Park() })
+	s[1].Engine().Ready(p)
+	s[0].Engine().After(sim.Millisecond, func() {}) // unrelated traffic elsewhere
+	_, err := g.Run(sim.Forever)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("deadlock not reported: %v", err)
+	}
+	if g.Live() != 1 {
+		t.Fatalf("live = %d, want 1", g.Live())
+	}
+	g.KillAll()
+	if g.Live() != 0 {
+		t.Fatalf("live after KillAll = %d", g.Live())
+	}
+}
+
+func TestHorizonLeavesQueuesIntact(t *testing.T) {
+	g, s := newGroup(2)
+	var fired int
+	s[1].Engine().After(50*sim.Millisecond, func() { fired++ })
+	end, hit, err := g.RunHorizon(20 * sim.Millisecond)
+	if err != nil || !hit {
+		t.Fatalf("end %v hit %v err %v", end, hit, err)
+	}
+	if fired != 0 {
+		t.Fatal("event beyond horizon fired")
+	}
+	if got := g.Now(); got != sim.Time(0).Add(20*sim.Millisecond) {
+		t.Fatalf("clocks at %v, want 20ms", got)
+	}
+	// A later unbounded Run picks the queue back up.
+	if _, err := g.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after resume", fired)
+	}
+}
+
+// shardedPipeline runs M logical nodes spread over n shards: a client
+// on shard 0 sends each node a request train; each node "serves" with a
+// node-specific delay chain and replies; the client records completion
+// instants. The recorded log must be identical for any shard count —
+// the core shard-assignment-invariance property the cluster layer
+// relies on.
+func shardedPipeline(t *testing.T, shards int) []string {
+	t.Helper()
+	const nodes, reqs = 4, 6
+	g, s := newGroup(shards)
+	var log []string
+	var completed int
+
+	type node struct {
+		sh   *Shard
+		id   int
+		busy sim.Time
+	}
+	ns := make([]*node, nodes)
+	for i := range ns {
+		ns[i] = &node{sh: s[i%shards], id: i}
+	}
+
+	// reply closes one request at the client (shard 0).
+	reply := func(arg any) {
+		log = append(log, fmt.Sprintf("%v %v", s[0].Now(), arg))
+		completed++
+	}
+	// serve runs on the node's shard: FIFO queue with a deterministic
+	// per-node service time, reply after lookahead.
+	serve := func(arg any) {
+		n := arg.(*node)
+		now := n.sh.Now()
+		if n.busy < now {
+			n.busy = now
+		}
+		n.busy = n.busy.Add(sim.Duration(n.id+1) * 3 * sim.Millisecond)
+		n.sh.Send(s[0], n.busy.Add(look), reply, fmt.Sprintf("node%d", n.id))
+	}
+	// The client fans the request train out round-robin, one request
+	// per millisecond, each delivered exactly lookahead later.
+	for r := 0; r < reqs; r++ {
+		n := ns[r%nodes]
+		s[0].Engine().AfterFunc(sim.Duration(r)*sim.Millisecond, func(arg any) {
+			nd := arg.(*node)
+			s[0].Send(nd.sh, s[0].Now().Add(look), serve, nd)
+		}, n)
+	}
+	if _, err := g.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if completed != reqs {
+		t.Fatalf("completed %d of %d", completed, reqs)
+	}
+	return log
+}
+
+func TestShardCountInvariant(t *testing.T) {
+	ref := shardedPipeline(t, 1)
+	for _, n := range []int{2, 3, 4} {
+		if got := shardedPipeline(t, n); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%d shards diverged:\n%v\nwant\n%v", n, got, ref)
+		}
+	}
+}
+
+func TestEmptyGroupAndZeroLookahead(t *testing.T) {
+	if end, err := New(look).Run(sim.Forever); end != 0 || err != nil {
+		t.Fatalf("empty group run: %v, %v", end, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero lookahead accepted")
+		}
+	}()
+	New(0)
+}

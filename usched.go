@@ -300,10 +300,12 @@ type (
 )
 
 // Cluster layer (internal/cluster): a fleet of named nodes — each a
-// complete simulated machine — on one shared engine, behind a routing
-// policy and a network cost model, serving routed traffic end to end.
+// complete simulated machine — behind a routing policy and a network
+// cost model, serving routed traffic end to end on one shared engine
+// or (NewShardedCluster) over conservative-parallel engine shards.
 type (
-	// Cluster is a multi-node fleet on one shared engine.
+	// Cluster is a multi-node fleet on one shared engine, or on several
+	// conservative-parallel shards (NewShardedCluster).
 	Cluster = cluster.Cluster
 	// ClusterNode is one named machine of a fleet.
 	ClusterNode = cluster.Node
@@ -333,6 +335,17 @@ type (
 // NewCluster builds an empty fleet on eng; add nodes, then Serve.
 func NewCluster(eng *sim.Engine, opts ClusterOptions, r ClusterRouting) *Cluster {
 	return cluster.New(eng, opts, r)
+}
+
+// NewShardedCluster builds a fleet spread over `shards` engines
+// advanced in conservative lockstep windows (Chandy–Misra–Bryant
+// lookahead synchronisation over the network's propagation delay), so
+// one big fleet can use several host cores while producing results
+// byte-identical to the shared-engine path. Build each node's system on
+// NodeEngine(i), not on Eng; shards <= 1 is exactly NewCluster on a
+// fresh engine.
+func NewShardedCluster(opts ClusterOptions, r ClusterRouting, shards int, seed uint64) *Cluster {
+	return cluster.NewSharded(opts, r, shards, seed)
 }
 
 // NewRoundRobinRouter returns the stateless rotation policy.
