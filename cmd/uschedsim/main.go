@@ -28,10 +28,25 @@
 //	            scenarios without a fleet ignore the flag)
 //	-json       print the per-cell metrics report as JSON instead of tables
 //	-out FILE   also write the metrics report to FILE (.csv selects CSV)
+//	-metrics FILE
+//	            collect simulated-time telemetry (meter, admission,
+//	            kernel, and router series scraped on the virtual
+//	            timeline) in scenarios that support it and write the
+//	            long-format rows to FILE (.csv selects CSV, otherwise
+//	            JSON); the file is byte-identical for any -par or
+//	            -shards value
+//	-spans FILE record per-request hop spans (client → router → network →
+//	            node queue → service → reply) in fleet scenarios and
+//	            write them to FILE (.csv selects CSV); byte-identical
+//	            for any -par or -shards value
+//	-v          print one progress line per completed cell to stderr
+//	            (completion order; table output is unaffected)
 //	-trace FILE instead of sweeping, run one representative cell of the
 //	            scenario with kernel event tracing and write Chrome
 //	            trace-event JSON (chrome://tracing, Perfetto) to FILE;
-//	            events are tagged with the scheduling class
+//	            events are tagged with the scheduling class. -trace runs
+//	            the cell on one shared engine and cannot be combined
+//	            with -shards, -metrics, or -spans
 //	-cpuprofile FILE
 //	            write a pprof CPU profile of the run to FILE, so any
 //	            scenario can be profiled directly (go tool pprof)
@@ -60,6 +75,7 @@ import (
 	_ "repro/internal/experiments" // register the experiment scenarios
 	"repro/internal/harness"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -73,7 +89,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	par := fs.Int("par", 0, "sim cells to run concurrently (0 means GOMAXPROCS)")
 	asJSON := fs.Bool("json", false, "print the metrics report as JSON instead of tables")
 	outPath := fs.String("out", "", "write the metrics report to `file` (.csv selects CSV, otherwise JSON)")
-	tracePath := fs.String("trace", "", "run one representative traced cell and write Chrome trace-event JSON to `file`")
+	metricsPath := fs.String("metrics", "", "collect simulated-time telemetry and write the rows to `file` (.csv selects CSV, otherwise JSON)")
+	spansPath := fs.String("spans", "", "record per-request spans in fleet scenarios and write them to `file` (.csv selects CSV, otherwise JSON)")
+	verbose := fs.Bool("v", false, "print one progress line per completed cell to stderr")
+	tracePath := fs.String("trace", "", "run one representative traced cell and write Chrome trace-event JSON to `file` (single shared engine: cannot be combined with -shards, -metrics, or -spans)")
 	seed := fs.Uint64("seed", 0, "replace each scenario's default RNG seed (0 keeps the paper seeds; output is then byte-identical)")
 	shards := fs.Int("shards", 0, "spread each fleet cell over `N` conservative-parallel engine shards (0 keeps one shared engine; tables are byte-identical for any N)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
@@ -148,8 +167,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var scenarios []*harness.Scenario
 	switch cmd {
 	case "machine":
-		if *asJSON || *outPath != "" || *tracePath != "" {
-			fmt.Fprintln(stderr, "uschedsim: machine does not support -json, -out, or -trace")
+		if *asJSON || *outPath != "" || *tracePath != "" || *metricsPath != "" || *spansPath != "" {
+			fmt.Fprintln(stderr, "uschedsim: machine does not support -json, -out, -metrics, -spans, or -trace")
 			return 2
 		}
 		machineCmd(stdout)
@@ -166,26 +185,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scenarios = []*harness.Scenario{s}
 	}
 
-	opt := harness.Opts{Quick: *quick, Seed: *seed, Shards: *shards}
+	opt := harness.Opts{
+		Quick:       *quick,
+		Seed:        *seed,
+		Shards:      *shards,
+		Metrics:     *metricsPath != "",
+		SpanRecords: *spansPath != "",
+	}
+	if *verbose {
+		opt.Progress = func(done, total int, m metrics.CellMetric) {
+			fmt.Fprintf(stderr, "[%d/%d] %s/%s: sim %.1fs host %.2fs\n",
+				done, total, m.Scenario, m.Cell, m.SimSeconds, m.HostSeconds)
+		}
+	}
 	if *tracePath != "" {
+		if *shards > 1 {
+			// Traced cells run on one shared engine: a sharded fleet's
+			// events interleave across engines, which would scramble the
+			// single flight-recorder ring.
+			fmt.Fprintln(stderr, "uschedsim: -trace cannot be combined with -shards (traced cells run on one shared engine)")
+			return 2
+		}
+		if *metricsPath != "" || *spansPath != "" {
+			fmt.Fprintln(stderr, "uschedsim: -trace cannot be combined with -metrics or -spans")
+			return 2
+		}
 		return traceCmd(scenarios, cmd, opt, *asJSON || *outPath != "", *tracePath, stderr)
 	}
 
-	// Open a temp file next to the report target before the sweep: a bad
+	// Open a temp file next to each output target before the sweep: a bad
 	// path must fail fast, not after minutes of simulation, and a crash
 	// or interrupt mid-sweep must not clobber a previous report. The
-	// rename below publishes it only on success.
-	var outFile *os.File
-	if *outPath != "" {
-		f, err := os.CreateTemp(filepath.Dir(*outPath), ".uschedsim-out-*")
-		if err != nil {
-			fmt.Fprintln(stderr, "uschedsim:", err)
-			return 2
-		}
-		defer os.Remove(f.Name()) // no-op once renamed into place
-		defer f.Close()
-		outFile = f
+	// publish below renames it into place only on success.
+	outFile, ok := openTarget(*outPath, stderr)
+	if !ok {
+		return 2
 	}
+	defer outFile.cleanup()
+	metricsFile, ok := openTarget(*metricsPath, stderr)
+	if !ok {
+		return 2
+	}
+	defer metricsFile.cleanup()
+	spansFile, ok := openTarget(*spansPath, stderr)
+	if !ok {
+		return 2
+	}
+	defer spansFile.cleanup()
 
 	sweep := harness.RunScenarios(scenarios, opt, *par)
 	report := sweep.Report()
@@ -202,27 +248,76 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "(%d cells, %d workers, sim time %.1fs, host time %.2fs, wall %.2fs)\n",
 		sweep.Cells(), sweep.Par, report.TotalSimSeconds, report.TotalHostSeconds, report.WallSeconds)
-	if outFile != nil {
-		if err := report.Write(outFile, harness.CSVPath(*outPath)); err != nil {
-			fmt.Fprintln(stderr, "uschedsim:", err)
-			return 1
-		}
-		// CreateTemp made the file 0600; publish it world-readable like
-		// a plain create would.
-		if err := outFile.Chmod(0o644); err != nil {
-			fmt.Fprintln(stderr, "uschedsim:", err)
-			return 1
-		}
-		if err := outFile.Close(); err != nil {
-			fmt.Fprintln(stderr, "uschedsim:", err)
-			return 1
-		}
-		if err := os.Rename(outFile.Name(), *outPath); err != nil {
-			fmt.Fprintln(stderr, "uschedsim:", err)
-			return 1
-		}
+	if !outFile.publish(stderr, report.Write) {
+		return 1
+	}
+	if !metricsFile.publish(stderr, sweep.WriteMetrics) {
+		return 1
+	}
+	if !spansFile.publish(stderr, sweep.WriteSpans) {
+		return 1
 	}
 	return 0
+}
+
+// outTarget is one pending output file: a temp file next to the target
+// path, renamed into place only after a successful write.
+type outTarget struct {
+	path string
+	f    *os.File
+	done bool
+}
+
+// openTarget opens a temp file next to path (nil target when path is
+// empty). Reports false after printing the error.
+func openTarget(path string, stderr io.Writer) (*outTarget, bool) {
+	if path == "" {
+		return nil, true
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".uschedsim-out-*")
+	if err != nil {
+		fmt.Fprintln(stderr, "uschedsim:", err)
+		return nil, false
+	}
+	return &outTarget{path: path, f: f}, true
+}
+
+// cleanup removes the temp file unless publish renamed it into place.
+func (t *outTarget) cleanup() {
+	if t == nil || t.done {
+		return
+	}
+	t.f.Close()
+	os.Remove(t.f.Name())
+}
+
+// publish writes via write (CSV when the target path ends in .csv) and
+// renames the temp file into place. Reports success; errors go to
+// stderr.
+func (t *outTarget) publish(stderr io.Writer, write func(w io.Writer, csv bool) error) bool {
+	if t == nil {
+		return true
+	}
+	if err := write(t.f, harness.CSVPath(t.path)); err != nil {
+		fmt.Fprintln(stderr, "uschedsim:", err)
+		return false
+	}
+	// CreateTemp made the file 0600; publish it world-readable like a
+	// plain create would.
+	if err := t.f.Chmod(0o644); err != nil {
+		fmt.Fprintln(stderr, "uschedsim:", err)
+		return false
+	}
+	if err := t.f.Close(); err != nil {
+		fmt.Fprintln(stderr, "uschedsim:", err)
+		return false
+	}
+	if err := os.Rename(t.f.Name(), t.path); err != nil {
+		fmt.Fprintln(stderr, "uschedsim:", err)
+		return false
+	}
+	t.done = true
+	return true
 }
 
 // traceCmd runs the scenario's representative traced cell and writes the

@@ -311,3 +311,112 @@ func TestProfileFlagsWriteProfiles(t *testing.T) {
 		t.Fatalf("bad -cpuprofile path: exit %d, want 2", code)
 	}
 }
+
+func TestTraceShardsExclusion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	// Traced cells run on one shared engine; a sharded fleet would
+	// scramble the single flight-recorder ring.
+	if code, _, errOut := runCLI(t, "schedcmp", "-quick", "-trace", path, "-shards", "2"); code != 2 ||
+		!strings.Contains(errOut, "-trace cannot be combined with -shards") {
+		t.Fatalf("-trace -shards: exit %d, stderr:\n%s", code, errOut)
+	}
+	// -shards 1 is the shared-engine degenerate case and stays allowed.
+	if code, _, errOut := runCLI(t, "schedcmp", "-quick", "-trace", path, "-shards", "1"); code != 0 {
+		t.Fatalf("-trace -shards 1: exit %d, stderr:\n%s", code, errOut)
+	}
+}
+
+func TestTelemetryFlagExclusions(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	mfile := filepath.Join(dir, "m.csv")
+	// -trace replaces the sweep, so there is no telemetry to export.
+	if code, _, errOut := runCLI(t, "schedcmp", "-quick", "-trace", trace, "-metrics", mfile); code != 2 ||
+		!strings.Contains(errOut, "-trace cannot be combined with -metrics or -spans") {
+		t.Fatalf("-trace -metrics: exit %d, stderr:\n%s", code, errOut)
+	}
+	if code, _, errOut := runCLI(t, "schedcmp", "-quick", "-trace", trace, "-spans", mfile); code != 2 ||
+		!strings.Contains(errOut, "-trace cannot be combined with -metrics or -spans") {
+		t.Fatalf("-trace -spans: exit %d, stderr:\n%s", code, errOut)
+	}
+	// machine has no cells to scrape.
+	if code, _, errOut := runCLI(t, "machine", "-metrics", mfile); code != 2 ||
+		!strings.Contains(errOut, "machine does not support") {
+		t.Fatalf("machine -metrics: exit %d, stderr:\n%s", code, errOut)
+	}
+	// A bad telemetry path must fail before the sweep runs.
+	if code, _, _ := runCLI(t, "cholesky", "-quick", "-metrics", "/nonexistent-dir/m.csv"); code != 2 {
+		t.Fatalf("bad -metrics path: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "cholesky", "-quick", "-spans", "/nonexistent-dir/s.csv"); code != 2 {
+		t.Fatalf("bad -spans path: exit %d, want 2", code)
+	}
+}
+
+func TestMetricsAndSpansExport(t *testing.T) {
+	dir := t.TempDir()
+	mfile := filepath.Join(dir, "metrics.csv")
+	sfile := filepath.Join(dir, "spans.csv")
+	code, out, errOut := runCLI(t, "cluster", "-quick", "-metrics", mfile, "-spans", sfile)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	// With spans on, the cluster scenario renders its hop-attribution
+	// table.
+	if !strings.Contains(out, "where does p99 live") {
+		t.Fatalf("-spans did not render the tail-attribution table:\n%s", out)
+	}
+	m, err := os.ReadFile(mfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLines := strings.Split(strings.TrimSpace(string(m)), "\n")
+	if mLines[0] != "scenario,cell,series,node,at_ns,value" || len(mLines) < 2 {
+		t.Fatalf("metrics csv header/rows:\n%s", mLines[0])
+	}
+	if !strings.HasPrefix(mLines[1], "cluster,") {
+		t.Fatalf("metrics row: %q", mLines[1])
+	}
+	s, err := os.ReadFile(sfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLines := strings.Split(strings.TrimSpace(string(s)), "\n")
+	if sLines[0] != "scenario,cell,id,node,submit_ns,arrive_ns,start_ns,done_ns,reply_ns,network_ns,queue_ns,service_ns" || len(sLines) < 2 {
+		t.Fatalf("spans csv header/rows:\n%s", sLines[0])
+	}
+	// JSON export round-trips.
+	mjson := filepath.Join(dir, "metrics.json")
+	if code, _, errOut := runCLI(t, "tailload", "-quick", "-metrics", mjson); code != 0 {
+		t.Fatalf("json metrics run: exit %d: %s", code, errOut)
+	}
+	var rows []harness.MetricRow
+	data, err := os.ReadFile(mjson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("metrics json: %v", err)
+	}
+	if len(rows) == 0 || rows[0].Scenario != "tailload" {
+		t.Fatalf("metrics json rows: %d", len(rows))
+	}
+}
+
+func TestVerboseProgress(t *testing.T) {
+	code, out, errOut := runCLI(t, "cholesky", "-quick", "-v", "-par", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	// Progress goes to stderr only; the tables are untouched.
+	if !strings.Contains(out, "Table 2") {
+		t.Fatalf("verbose run lost its table output:\n%s", out)
+	}
+	if !strings.Contains(errOut, "[1/") || !strings.Contains(errOut, "cholesky/") {
+		t.Fatalf("no per-cell progress on stderr:\n%s", errOut)
+	}
+	code, quiet, _ := runCLI(t, "cholesky", "-quick", "-par", "2")
+	if code != 0 || quiet != out {
+		t.Fatal("-v changed the table output")
+	}
+}

@@ -39,8 +39,9 @@ func models() []usched.InferenceModel {
 
 // run serves one bursty request train through the given router over a
 // fresh fleet spread across the given number of engine shards (1 =
-// the classic single shared engine) and reports the cluster stats.
-func run(router usched.ClusterRouting, shards int) usched.ClusterStats {
+// the classic single shared engine) and reports the cluster stats plus
+// the recorded per-request hop spans.
+func run(router usched.ClusterRouting, shards int) (usched.ClusterStats, []usched.RequestSpan) {
 	cl := usched.NewShardedCluster(usched.ClusterOptions{
 		Net: usched.ClusterNetwork{
 			RequestLatency: 200 * sim.Microsecond,
@@ -51,6 +52,7 @@ func run(router usched.ClusterRouting, shards int) usched.ClusterStats {
 		},
 		SLO:      slo,
 		Sessions: 6,
+		Spans:    true, // record client→router→network→queue→service→reply timelines
 	}, router, shards, 31)
 
 	// Two full nodes and one half-width straggler, each built on its
@@ -68,6 +70,7 @@ func run(router usched.ClusterRouting, shards int) usched.ClusterStats {
 					Batches: 4,
 					Scale:   scale,
 					Models:  models(),
+					Started: cl.StartedFunc(i), // stamp the service-start hop
 				}, done)
 				if err != nil {
 					panic(err)
@@ -86,21 +89,21 @@ func run(router usched.ClusterRouting, shards int) usched.ClusterStats {
 	if _, err := cl.Run(0); err != nil {
 		panic(err)
 	}
-	return cl.Stats()
+	return cl.Stats(), cl.Spans()
 }
 
 func main() {
 	fmt.Printf("Heterogeneous fleet (8c+8c+4c), bursty arrivals at %.1f req/s, SLO %v\n", rate, slo)
 	fmt.Println("One engine shard per node: three engines in conservative lockstep.")
 	fmt.Println()
-	fmt.Printf("%-18s %8s %8s %9s %6s  %s\n",
-		"router", "p99", "max", "goodput", "viol%", "requests per node")
+	fmt.Printf("%-18s %8s %8s %9s %6s %15s  %s\n",
+		"router", "p99", "max", "goodput", "viol%", "p99 net/q/svc", "requests per node")
 	for _, r := range []usched.ClusterRouting{
 		usched.NewRoundRobinRouter(),
 		usched.NewLeastOutstandingRouter(),
 		usched.NewConsistentHashRouter(),
 	} {
-		st := run(r, 3)
+		st, spans := run(r, 3)
 		var split string
 		for i, ns := range st.Nodes {
 			if i > 0 {
@@ -108,22 +111,32 @@ func main() {
 			}
 			split += fmt.Sprint(ns.Dispatched)
 		}
-		fmt.Printf("%-18s %7.2fs %7.2fs %9.3f %5.0f%%  %s\n",
+		// "Where does p99 live": decompose the slowest percentile of
+		// recorded spans into network / queueing / service shares.
+		tb := usched.BreakSpanTail(spans, 0.99)
+		fmt.Printf("%-18s %7.2fs %7.2fs %9.3f %5.0f%% %4.0f%%/%3.0f%%/%3.0f%%  %s\n",
 			r.Name(), st.EndToEnd.P99.Seconds(), st.EndToEnd.Max.Seconds(),
-			st.EndToEnd.Goodput, 100*st.EndToEnd.ViolationFrac, split)
+			st.EndToEnd.Goodput, 100*st.EndToEnd.ViolationFrac,
+			100*tb.Network, 100*tb.Queue, 100*tb.Service, split)
 	}
 	fmt.Println("\nLoad-aware routing (least-outstanding, power-of-two-choices) keeps the")
 	fmt.Println("straggler's queue short during bursts; round-robin keeps feeding it and")
 	fmt.Println("pays at the tail; session affinity pins sessions wherever they hash.")
+	fmt.Println("The hop breakdown (\"where does p99 live\") pins the tail on node service")
+	fmt.Println("time, not the network — span evidence that the straggler's compute, not")
+	fmt.Println("the links, sets the tail here.")
 
 	// The conservative-parallel contract, checked end to end: the same
 	// fleet on one shared engine and over three shards must agree on
-	// every number.
-	shared := run(usched.NewLeastOutstandingRouter(), 1)
-	sharded := run(usched.NewLeastOutstandingRouter(), 3)
+	// every number — stats AND the per-request span timelines.
+	shared, sharedSpans := run(usched.NewLeastOutstandingRouter(), 1)
+	sharded, shardedSpans := run(usched.NewLeastOutstandingRouter(), 3)
 	if fmt.Sprintf("%+v", shared) != fmt.Sprintf("%+v", sharded) {
 		panic("sharded run diverged from the shared engine")
 	}
-	fmt.Println("\n1 shard and 3 shards produced identical stats (conservative PDES:")
-	fmt.Println("lookahead windows bounded by the network propagation delay).")
+	if fmt.Sprintf("%+v", sharedSpans) != fmt.Sprintf("%+v", shardedSpans) {
+		panic("sharded spans diverged from the shared engine")
+	}
+	fmt.Println("\n1 shard and 3 shards produced identical stats and spans (conservative")
+	fmt.Println("PDES: lookahead windows bounded by the network propagation delay).")
 }

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/load"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sim/pdes"
 	"repro/internal/stack"
@@ -79,6 +80,9 @@ type Node struct {
 	// in this engine's event context.
 	eng   *sim.Engine
 	shard *pdes.Shard // nil when the cluster is unsharded
+	// reg scrapes the node-homed telemetry (node meter, kernel) on the
+	// node's own engine; nil when metrics are off.
+	reg *obs.Registry
 	// inflight tracks requests between arrival at the node and
 	// completion, keyed by request id.
 	inflight map[int]*flight
@@ -107,6 +111,19 @@ type Config struct {
 	// session-aware routing. Non-positive gives every request its own
 	// session.
 	Sessions int
+	// MetricsInterval, when positive, attaches a deterministic obs
+	// scraper to every engine: per-node meter and kernel series on each
+	// node's engine, the end-to-end meter plus per-node outstanding and
+	// router-pick counts on the client engine. Samples are keyed by
+	// simulated time, so the export is byte-identical for any host
+	// parallelism or shard count. Zero (the default) disables scraping
+	// entirely; the instrumented paths then cost nothing.
+	MetricsInterval sim.Duration
+	// Spans, when true, records one obs.Span per request — the five
+	// hop instants of the client → node → reply path — retrievable via
+	// Spans after the run. Off by default; disabled span stamping is a
+	// nil check.
+	Spans bool
 }
 
 // flight is one request's routing state, reused across its network hops.
@@ -139,6 +156,16 @@ type Cluster struct {
 	completed int
 	doneAt    sim.Time // instant the final reply arrived
 	served    bool
+
+	// clientReg scrapes client-edge telemetry (end-to-end meter,
+	// per-node outstanding/picks); nil when metrics are off.
+	clientReg *obs.Registry
+	// spans holds one Span per request id when Config.Spans is set;
+	// nil otherwise. The slice is preallocated at Serve and each field
+	// is written exactly once, on the engine the corresponding path
+	// stage is homed on — causally ordered by the request itself, so
+	// the writes are race-free under sharding too.
+	spans []obs.Span
 }
 
 // New builds an empty cluster on eng. Add nodes, then call Serve.
@@ -276,6 +303,19 @@ func (c *Cluster) AddNode(name string, sys *stack.System, newBackend func(done f
 	return n
 }
 
+// StartedFunc returns the service-start span hook for node index ni:
+// the node's backend should call it (if non-nil) with the request id at
+// the instant service begins, in the node engine's event context. Nil
+// when spans are off, so backends pay only a nil check. Valid once the
+// node has been added.
+func (c *Cluster) StartedFunc(ni int) func(id int) {
+	if !c.cfg.Spans {
+		return nil
+	}
+	n := c.nodes[ni]
+	return func(id int) { c.spans[id].Start = n.eng.Now() }
+}
+
 // session maps a request id to its session key.
 func (c *Cluster) session(id int) uint64 {
 	if c.cfg.Sessions > 0 {
@@ -297,8 +337,70 @@ func (c *Cluster) Serve(src load.Source, n int) {
 	c.served = true
 	c.src = src
 	c.total = n
+	if c.cfg.Spans {
+		c.spans = make([]obs.Span, n)
+		for i := range c.spans {
+			c.spans[i].ID = i
+		}
+	}
+	if c.cfg.MetricsInterval > 0 {
+		c.startObs()
+	}
 	c.router.Bind(c, c.Eng.Rand("cluster/router"))
 	src.Start(c.Eng, c.Eng.Rand("cluster/client"), n, c.submit)
+}
+
+// startObs builds and starts the scrape registries: one on the client
+// engine for client-homed state, one per node on the node's engine.
+// Every series lives on the engine that mutates it, so sampled values
+// at any instant are identical for any shard count.
+func (c *Cluster) startObs() {
+	c.clientReg = obs.New(c.Eng, "client", c.cfg.MetricsInterval)
+	obs.ObserveMeter(c.clientReg, "client", "e2e", c.meter)
+	for _, n := range c.nodes {
+		n := n
+		c.clientReg.GaugeNode("router/outstanding", n.Name, func() float64 { return float64(n.outstanding) })
+		c.clientReg.GaugeNode("router/picks", n.Name, func() float64 { return float64(n.dispatched) })
+	}
+	c.clientReg.Start()
+	for _, n := range c.nodes {
+		n.reg = obs.New(n.eng, n.Name, c.cfg.MetricsInterval)
+		obs.ObserveMeter(n.reg, n.Name, "meter", n.meter)
+		if n.Sys != nil {
+			obs.ObserveKernel(n.reg, n.Name, n.Sys.K)
+		}
+		n.reg.Start()
+	}
+}
+
+// regStop carries a remote registry-stop: stop scraping, trim samples
+// past the shard-invariant cutoff (the final-completion instant).
+type regStop struct {
+	reg    *obs.Registry
+	cutoff sim.Time
+}
+
+func stopReg(arg any) {
+	rs := arg.(*regStop)
+	rs.reg.Stop(rs.cutoff)
+}
+
+// stopObs ends scraping after the final reply: local registries stop at
+// the completion instant; remote ones one lookahead later (the earliest
+// safe instant), with the completion instant as the sample cutoff so
+// the exported rows are identical either way.
+func (c *Cluster) stopObs(now sim.Time) {
+	if c.clientReg == nil {
+		return
+	}
+	c.clientReg.Stop(now)
+	for _, n := range c.nodes {
+		if n.eng == c.Eng {
+			n.reg.Stop(now)
+		} else {
+			c.client.Send(n.shard, now.Add(c.group.Lookahead()), stopReg, &regStop{reg: n.reg, cutoff: now})
+		}
+	}
 }
 
 // submit routes one arrival: meter it, pick the node, and send the
@@ -315,6 +417,11 @@ func (c *Cluster) submit(id int) {
 	n := c.nodes[ni]
 	n.dispatched++
 	n.outstanding++
+	if c.spans != nil {
+		sp := &c.spans[id]
+		sp.Node = n.Name
+		sp.Submit = now
+	}
 	f := &flight{c: c, id: id, node: ni}
 	d := n.reqLink.delay(now, c.cfg.Net.RequestLatency, c.cfg.Net.RequestBytes, c.cfg.Net.LinkBandwidth)
 	if n.eng == c.Eng {
@@ -333,6 +440,9 @@ func deliverFlight(arg any) {
 	n := f.c.nodes[f.node]
 	n.inflight[f.id] = f
 	n.meter.Submitted(f.id, n.eng.Now())
+	if f.c.spans != nil {
+		f.c.spans[f.id].Arrive = n.eng.Now()
+	}
 	n.backend.Submit(f.id)
 }
 
@@ -343,6 +453,9 @@ func (c *Cluster) nodeDone(ni, id int) {
 	n := c.nodes[ni]
 	now := n.eng.Now()
 	n.meter.Completed(id, now)
+	if c.spans != nil {
+		c.spans[id].Done = now
+	}
 	f := n.inflight[id]
 	if f == nil || f.node != ni {
 		panic(fmt.Sprintf("cluster: node %d completed unknown request %d", ni, id))
@@ -368,6 +481,9 @@ func replyFlight(arg any) {
 	c.meter.Completed(f.id, now)
 	c.nodes[f.node].outstanding--
 	c.completed++
+	if c.spans != nil {
+		c.spans[f.id].Reply = now
+	}
 	c.src.Completed(f.id)
 	if c.completed == c.total {
 		c.doneAt = now
@@ -378,6 +494,7 @@ func replyFlight(arg any) {
 				c.client.Send(n.shard, now.Add(c.group.Lookahead()), stopNode, n)
 			}
 		}
+		c.stopObs(now)
 	}
 }
 
@@ -431,6 +548,51 @@ func (c *Cluster) killAll() {
 		return
 	}
 	c.group.KillAll()
+}
+
+// Samples returns the scraped telemetry rows merged across every
+// registry (client edge plus one per node) in canonical (At, Node,
+// Series) order. Empty when Config.MetricsInterval was zero. Call after
+// Run returns — at a barrier, so remote registries are quiescent.
+func (c *Cluster) Samples() []obs.Sample {
+	if c.clientReg == nil {
+		return nil
+	}
+	groups := make([][]obs.Sample, 0, len(c.nodes)+1)
+	groups = append(groups, c.clientReg.Samples())
+	for _, n := range c.nodes {
+		groups = append(groups, n.reg.Samples())
+	}
+	return obs.MergeSamples(groups...)
+}
+
+// Spans returns the per-request hop timelines in request-id order, or
+// nil when Config.Spans was false. Call after Run returns.
+func (c *Cluster) Spans() []obs.Span { return c.spans }
+
+// Events reports the total events fired across the fleet's engines, for
+// run profiling. Host-side bookkeeping: the count depends on shard
+// count (coordination events), so it belongs in profiling reports, not
+// in shard-invariant metric exports.
+func (c *Cluster) Events() int64 {
+	if c.group == nil {
+		return int64(c.Eng.Processed())
+	}
+	var total int64
+	for _, s := range c.shards {
+		total += int64(s.Engine().Processed())
+	}
+	return total
+}
+
+// WindowStats reports the conservative-window profile of a sharded run
+// (zero when unsharded). Like Events, this is profiling data — windows
+// only exist when sharded.
+func (c *Cluster) WindowStats() pdes.WindowStats {
+	if c.group == nil {
+		return pdes.WindowStats{}
+	}
+	return c.group.WindowStats()
 }
 
 // NodeStats is one node's slice of a cluster run.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stack"
 )
@@ -17,6 +18,7 @@ type stubBackend struct {
 	eng       *sim.Engine
 	service   sim.Duration
 	done      func(id int)
+	started   func(id int) // optional span service-start hook
 	served    int
 	stopped   bool
 	busyUntil sim.Time
@@ -29,6 +31,9 @@ func (b *stubBackend) Submit(id int) {
 		start = b.busyUntil
 	}
 	b.busyUntil = start.Add(b.service)
+	if b.started != nil {
+		b.eng.At(start, func() { b.started(id) })
+	}
 	b.eng.At(b.busyUntil, func() { b.done(id) })
 }
 
@@ -63,7 +68,7 @@ func shardedStubCluster(t *testing.T, cfg Config, r Router, shards int, service 
 	for i, s := range service {
 		i, s := i, s
 		c.AddNode(nodeName(i), nil, func(done func(id int)) Backend {
-			backends[i] = &stubBackend{eng: c.NodeEngine(i), service: s, done: done}
+			backends[i] = &stubBackend{eng: c.NodeEngine(i), service: s, done: done, started: c.StartedFunc(i)}
 			return backends[i]
 		})
 	}
@@ -345,6 +350,117 @@ func TestImbalanceInfWhenNodeStarved(t *testing.T) {
 	}
 	if st := c.Stats(); !math.IsInf(st.Imbalance, 1) {
 		t.Fatalf("imbalance = %v, want +Inf", st.Imbalance)
+	}
+}
+
+func TestTelemetryIdenticalAcrossShards(t *testing.T) {
+	// Metric samples and request spans carry the same byte-identity
+	// contract as Stats: any shard count must export the same rows.
+	service := []sim.Duration{2 * sim.Millisecond, 7 * sim.Millisecond, 3 * sim.Millisecond}
+	run := func(shards int) ([]obs.Sample, []obs.Span) {
+		c, _ := shardedStubCluster(t, Config{
+			Net:             shardNet,
+			SLO:             40 * sim.Millisecond,
+			Sessions:        6,
+			MetricsInterval: 5 * sim.Millisecond,
+			Spans:           true,
+		}, NewLeastOutstanding(), shards, service)
+		c.Serve(&load.Bursty{Base: 200, Burst: 2000, MeanDwell: 10 * sim.Millisecond}, 80)
+		if _, err := c.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		// Run profiling is shard-DEPENDENT by design (event counts and
+		// pdes window stats describe the execution, not the simulation) —
+		// it must be populated but is excluded from the identity check.
+		if c.Events() <= 0 {
+			t.Fatalf("%d shards: Events() = %d", shards, c.Events())
+		}
+		ws := c.WindowStats()
+		if shards == 1 && ws.Windows != 0 {
+			t.Fatalf("unsharded run reported %d pdes windows", ws.Windows)
+		}
+		if shards > 1 && ws.Windows == 0 {
+			t.Fatalf("%d shards: no pdes windows recorded", shards)
+		}
+		return c.Samples(), c.Spans()
+	}
+	refSamples, refSpans := run(1)
+	if len(refSamples) == 0 {
+		t.Fatal("no metric samples recorded")
+	}
+	if len(refSpans) != 80 {
+		t.Fatalf("spans = %d, want 80", len(refSpans))
+	}
+	for _, sp := range refSpans {
+		if !sp.Complete() {
+			t.Fatalf("incomplete span %+v", sp)
+		}
+		if !(sp.Submit < sp.Arrive && sp.Arrive <= sp.Start && sp.Start <= sp.Done && sp.Done < sp.Reply) {
+			t.Fatalf("span hops out of order: %+v", sp)
+		}
+		if sp.Network()+sp.Queue()+sp.Service() != sp.Total() {
+			t.Fatalf("span hops do not cover total: %+v", sp)
+		}
+	}
+	for _, shards := range []int{2, 3} {
+		samples, spans := run(shards)
+		if !reflect.DeepEqual(samples, refSamples) {
+			t.Fatalf("%d shards: metric samples diverged (got %d rows, ref %d)", shards, len(samples), len(refSamples))
+		}
+		if !reflect.DeepEqual(spans, refSpans) {
+			t.Fatalf("%d shards: spans diverged", shards)
+		}
+	}
+}
+
+func TestSpansRecordHopTimeline(t *testing.T) {
+	// One node, pure-latency network, two simultaneous requests: the
+	// first flows straight through; the second queues behind it for one
+	// full service time. Every stamp is checkable by hand.
+	net := Network{RequestLatency: 2 * sim.Millisecond, ReplyLatency: 3 * sim.Millisecond}
+	c, _ := shardedStubCluster(t, Config{Net: net, Spans: true}, NewRoundRobin(), 1,
+		[]sim.Duration{10 * sim.Millisecond})
+	c.Serve(&load.Replay{}, 2) // both at t=0
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	spans := c.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	ms := sim.Millisecond
+	want := []obs.Span{
+		{ID: 0, Node: "a-node", Submit: 0, Arrive: sim.Time(2 * ms), Start: sim.Time(2 * ms),
+			Done: sim.Time(12 * ms), Reply: sim.Time(15 * ms)},
+		{ID: 1, Node: "a-node", Submit: 0, Arrive: sim.Time(2 * ms), Start: sim.Time(12 * ms),
+			Done: sim.Time(22 * ms), Reply: sim.Time(25 * ms)},
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("span %d = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+	if q := spans[1].Queue(); q != 10*ms {
+		t.Fatalf("queued span Queue() = %v, want 10ms", q)
+	}
+	if n := spans[0].Network(); n != 5*ms {
+		t.Fatalf("Network() = %v, want 5ms", n)
+	}
+}
+
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	// With telemetry off the cluster must not retain samples or spans —
+	// the alloc-free default path.
+	c, _ := stubCluster(t, Config{}, NewRoundRobin(), []sim.Duration{sim.Millisecond})
+	c.Serve(&load.Replay{}, 3)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Samples() != nil {
+		t.Fatal("Samples() non-nil with metrics disabled")
+	}
+	if c.Spans() != nil {
+		t.Fatal("Spans() non-nil with spans disabled")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/trace"
@@ -85,6 +86,14 @@ type ClusterConfig struct {
 	// tables are byte-identical for any value. 0 or 1 runs the classic
 	// single shared engine.
 	Shards int
+
+	// MetricsInterval, when positive, scrapes simulated-time telemetry
+	// from every cell's fleet (cluster.Config.MetricsInterval). Exports
+	// are byte-identical for any -par or -shards value.
+	MetricsInterval sim.Duration
+	// Spans records per-request hop timelines and the p99 tail
+	// breakdown in every cell. Same determinism guarantee.
+	Spans bool
 }
 
 // DefaultCluster returns the scaled full sweep: a heterogeneous fleet
@@ -183,6 +192,18 @@ type ClusterCell struct {
 	Stats                 cluster.Stats
 	Elapsed               sim.Duration
 	TimedOut              bool
+	// Samples and Spans hold the cell's telemetry when the sweep
+	// enabled it (ClusterConfig.MetricsInterval / Spans).
+	Samples []obs.Sample
+	Spans   []obs.Span
+	// Tail decomposes where the cell's p99 lives (network vs. queue vs.
+	// service); zero when spans were off.
+	Tail obs.TailBreakdown
+	// Events, Windows, and WindowWidthSum profile the cell's host-side
+	// cost (events fired; conservative windows when sharded).
+	Events         int64
+	Windows        int64
+	WindowWidthSum sim.Duration
 }
 
 // runClusterCell builds the fleet — on one shared engine, or over
@@ -191,9 +212,11 @@ type ClusterCell struct {
 // 0's kernel events.
 func runClusterCell(cfg ClusterConfig, shape TailShape, scheme TailScheme, router ClusterRouter, rate float64, tracer *trace.Buffer) ClusterCell {
 	cl := cluster.NewSharded(cluster.Config{
-		Net:      cfg.Net,
-		SLO:      cfg.SLO,
-		Sessions: cfg.Sessions,
+		Net:             cfg.Net,
+		SLO:             cfg.SLO,
+		Sessions:        cfg.Sessions,
+		MetricsInterval: cfg.MetricsInterval,
+		Spans:           cfg.Spans,
 	}, router.New(), cfg.Shards, cfg.Seed)
 	params := kernel.DefaultSchedParams()
 	if scheme.KernelClass != "" {
@@ -207,12 +230,14 @@ func runClusterCell(cfg ClusterConfig, shape TailShape, scheme TailScheme, route
 		if tracer != nil && i == 0 {
 			sys.K.Tracer = tracer
 		}
+		i := i
 		cl.AddNode(fmt.Sprintf("node%d", i), sys, func(done func(id int)) cluster.Backend {
 			svc, err := inference.NewService(sys, inference.ServiceConfig{
 				Scheme:  scheme.Scheme,
 				Batches: cfg.Batches,
 				Scale:   cfg.Scale,
 				Models:  cfg.Models,
+				Started: cl.StartedFunc(i),
 			}, done)
 			if err != nil {
 				panic(err)
@@ -225,12 +250,22 @@ func runClusterCell(cfg ClusterConfig, shape TailShape, scheme TailScheme, route
 	if err != nil {
 		panic(err)
 	}
-	return ClusterCell{
+	ws := cl.WindowStats()
+	cell := ClusterCell{
 		Shape: shape.Name, Scheme: scheme.Name, Router: router.Name, Load: rate,
-		Stats:    cl.Stats(),
-		Elapsed:  cl.Elapsed(),
-		TimedOut: timedOut || cl.Completed() < cfg.Requests,
+		Stats:          cl.Stats(),
+		Elapsed:        cl.Elapsed(),
+		TimedOut:       timedOut || cl.Completed() < cfg.Requests,
+		Samples:        cl.Samples(),
+		Spans:          cl.Spans(),
+		Events:         cl.Events(),
+		Windows:        ws.Windows,
+		WindowWidthSum: ws.WidthSum,
 	}
+	if cell.Spans != nil {
+		cell.Tail = obs.BreakTail(cell.Spans, 0.99)
+	}
+	return cell
 }
 
 // ClusterResult holds cells indexed [shape][scheme][router][load] in
@@ -254,9 +289,14 @@ func ClusterJobs(cfg ClusterConfig) []harness.Job {
 						Run: func() harness.Output {
 							cell := runClusterCell(cfg, shape, scheme, router, rate, nil)
 							return harness.Output{
-								Value:    cell,
-								SimTime:  cell.Elapsed,
-								TimedOut: cell.TimedOut,
+								Value:          cell,
+								SimTime:        cell.Elapsed,
+								TimedOut:       cell.TimedOut,
+								Events:         cell.Events,
+								Windows:        cell.Windows,
+								WindowWidthSum: cell.WindowWidthSum,
+								Samples:        cell.Samples,
+								Spans:          cell.Spans,
 							}
 						},
 					})
@@ -368,6 +408,17 @@ func (r *ClusterResult) Render() string {
 			}
 			return fmt.Sprintf("%.2f", c.Stats.Imbalance)
 		})
+		if cfg.Spans {
+			cellTable(shi, "where does p99 live (net/queue/service % of tail latency)",
+				func(c *ClusterCell) string {
+					t := c.Tail
+					if t.N == 0 {
+						return "—"
+					}
+					return fmt.Sprintf("%.0f/%.0f/%.0f",
+						t.Network*100, t.Queue*100, t.Service*100)
+				})
+		}
 	}
 	fmt.Fprintf(&sb, "\nMax sustainable cluster load (req/s, violation fraction <= %.2f)\n%16s",
 		cfg.SLOBudget, "router/scheme")

@@ -122,6 +122,7 @@ func Figure4Jobs(cfg Figure4Config) []harness.Job {
 						Value:    Figure4Point{Scheme: scheme, Rate: rate, Result: res},
 						SimTime:  res.Elapsed,
 						TimedOut: res.TimedOut,
+						Events:   res.Events,
 					}
 				},
 			})

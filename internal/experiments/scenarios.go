@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/harness"
+	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/trace"
 	"repro/internal/workloads/inference"
@@ -128,7 +129,20 @@ func tailLoadConfig(opt harness.Opts) TailLoadConfig {
 		cfg = QuickTailLoad()
 	}
 	cfg.Seed = opt.ApplySeed(cfg.Seed)
+	if opt.Metrics {
+		cfg.MetricsInterval = metricsInterval(opt)
+	}
 	return cfg
+}
+
+// metricsInterval is the scrape cadence -metrics enables: coarse on the
+// scaled paper sweeps, finer on the quick test-sized configurations
+// whose runs are only seconds of virtual time.
+func metricsInterval(opt harness.Opts) sim.Duration {
+	if opt.Quick {
+		return 250 * sim.Millisecond
+	}
+	return 5 * sim.Second
 }
 
 // traceTailLoad traces the most loaded bursty cell under the last
@@ -172,6 +186,10 @@ func clusterConfig(opt harness.Opts) ClusterConfig {
 	if opt.Shards > 0 {
 		cfg.Shards = opt.Shards
 	}
+	if opt.Metrics {
+		cfg.MetricsInterval = metricsInterval(opt)
+	}
+	cfg.Spans = opt.SpanRecords
 	return cfg
 }
 

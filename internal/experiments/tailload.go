@@ -122,6 +122,9 @@ type TailLoadConfig struct {
 	Models      []inference.Model
 	Horizon     sim.Duration
 	Seed        uint64
+	// MetricsInterval, when positive, scrapes simulated-time telemetry
+	// in every cell (inference.Config.MetricsInterval).
+	MetricsInterval sim.Duration
 }
 
 // DefaultTailLoad returns the scaled sweep on the full 112-core
@@ -187,19 +190,20 @@ func TailLoadJobs(cfg TailLoadConfig) []harness.Job {
 					Name: fmt.Sprintf("%s/%s/load%.2f", shape.Name, scheme.Name, rate),
 					Run: func() harness.Output {
 						res := inference.Run(inference.Config{
-							Machine:     cfg.Machine,
-							Scheme:      scheme.Scheme,
-							KernelClass: scheme.KernelClass,
-							Rate:        rate,
-							Requests:    cfg.Requests,
-							Batches:     cfg.Batches,
-							Scale:       cfg.Scale,
-							Models:      cfg.Models,
-							Horizon:     cfg.Horizon,
-							Seed:        cfg.Seed,
-							Arrivals:    shape.New(rate, cfg.Scale, cfg.Requests),
-							SLO:         cfg.SLO,
-							MaxInFlight: cfg.MaxInFlight,
+							Machine:         cfg.Machine,
+							Scheme:          scheme.Scheme,
+							KernelClass:     scheme.KernelClass,
+							Rate:            rate,
+							Requests:        cfg.Requests,
+							Batches:         cfg.Batches,
+							Scale:           cfg.Scale,
+							Models:          cfg.Models,
+							Horizon:         cfg.Horizon,
+							Seed:            cfg.Seed,
+							Arrivals:        shape.New(rate, cfg.Scale, cfg.Requests),
+							SLO:             cfg.SLO,
+							MaxInFlight:     cfg.MaxInFlight,
+							MetricsInterval: cfg.MetricsInterval,
 						})
 						return harness.Output{
 							Value: TailLoadCell{
@@ -208,6 +212,8 @@ func TailLoadJobs(cfg TailLoadConfig) []harness.Job {
 							},
 							SimTime:  res.Elapsed,
 							TimedOut: res.TimedOut,
+							Events:   res.Events,
+							Samples:  res.Samples,
 						}
 					},
 				})

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -196,10 +197,121 @@ func TestReportJSONRoundTripAndCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
-	if len(lines) != 4 || lines[0] != "scenario,cell,sim_seconds,host_seconds,timed_out" {
+	if len(lines) != 4 || lines[0] != "scenario,cell,sim_seconds,host_seconds,sim_per_host,events,windows,mean_window_ms,timed_out" {
 		t.Fatalf("csv:\n%s", csvBuf.String())
 	}
 	if !strings.HasPrefix(lines[3], "test-report,cell2,2,") {
 		t.Fatalf("csv row: %q", lines[3])
+	}
+}
+
+// telemetrySweep builds a two-cell sweep with hand-written samples and
+// spans, so writer output is checkable literally.
+func telemetrySweep() *Sweep {
+	sc := testScenario("test-tel", 2)
+	span := obs.Span{ID: 0, Node: "a-node", Submit: 0,
+		Arrive: sim.Time(2 * sim.Millisecond), Start: sim.Time(2 * sim.Millisecond),
+		Done: sim.Time(12 * sim.Millisecond), Reply: sim.Time(15 * sim.Millisecond)}
+	return &Sweep{Scenarios: []ScenarioResult{{
+		Scenario: sc,
+		Results: []Result{
+			{
+				Metric: metrics.CellMetric{Scenario: "test-tel", Cell: "c0"},
+				Samples: []obs.Sample{
+					{Series: "meter/inflight", Node: "a-node", At: sim.Time(5 * sim.Millisecond), Value: 3},
+					{Series: "meter/p99_win_s", Node: "a-node", At: sim.Time(5 * sim.Millisecond), Value: 0.0125},
+				},
+				Spans: []obs.Span{span, {ID: 1, Node: "b-node", Submit: sim.Time(sim.Millisecond)}},
+			},
+			{
+				Metric:  metrics.CellMetric{Scenario: "test-tel", Cell: "c1"},
+				Samples: []obs.Sample{{Series: "kernel/runnable", Node: "b-node", At: sim.Time(10 * sim.Millisecond), Value: 7}},
+			},
+		},
+	}}}
+}
+
+func TestWriteMetricsCSVAndJSON(t *testing.T) {
+	sw := telemetrySweep()
+	var buf bytes.Buffer
+	if err := sw.WriteMetrics(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	want := "scenario,cell,series,node,at_ns,value\n" +
+		"test-tel,c0,meter/inflight,a-node,5000000,3\n" +
+		"test-tel,c0,meter/p99_win_s,a-node,5000000,0.0125\n" +
+		"test-tel,c1,kernel/runnable,b-node,10000000,7\n"
+	if buf.String() != want {
+		t.Fatalf("metrics csv:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	buf.Reset()
+	if err := sw.WriteMetrics(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	var rows []MetricRow
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("metrics json: %v\n%s", err, buf.String())
+	}
+	if len(rows) != 3 || rows[1].Value != 0.0125 || rows[2].Cell != "c1" {
+		t.Fatalf("metrics json rows: %+v", rows)
+	}
+}
+
+func TestWriteSpansCSVAndJSON(t *testing.T) {
+	sw := telemetrySweep()
+	var buf bytes.Buffer
+	if err := sw.WriteSpans(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	want := "scenario,cell,id,node,submit_ns,arrive_ns,start_ns,done_ns,reply_ns,network_ns,queue_ns,service_ns\n" +
+		"test-tel,c0,0,a-node,0,2000000,2000000,12000000,15000000,5000000,0,10000000\n" +
+		// Incomplete span: raw stamps kept, derived hops zero-filled.
+		"test-tel,c0,1,b-node,1000000,0,0,0,0,0,0,0\n"
+	if buf.String() != want {
+		t.Fatalf("spans csv:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	buf.Reset()
+	if err := sw.WriteSpans(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	var rows []SpanRow
+	if err := json.Unmarshal(buf.Bytes(), &rows); err != nil {
+		t.Fatalf("spans json: %v\n%s", err, buf.String())
+	}
+	if len(rows) != 2 || rows[0].NetworkNs != 5000000 || rows[1].ReplyNs != 0 {
+		t.Fatalf("spans json rows: %+v", rows)
+	}
+	if got := sw.Spans(); len(got) != 2 || got[0].Node != "a-node" {
+		t.Fatalf("Spans() = %+v", got)
+	}
+}
+
+func TestRunProgressReportsEveryCell(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var mu sync.Mutex
+		var dones []int
+		total := -1
+		results := RunProgress(countJobs(6, nil), par, func(done, n int, m metrics.CellMetric) {
+			mu.Lock()
+			dones = append(dones, done)
+			total = n
+			mu.Unlock()
+			if m.Cell == "" {
+				t.Errorf("par=%d: progress metric missing cell name", par)
+			}
+		})
+		if len(results) != 6 || total != 6 {
+			t.Fatalf("par=%d: results %d, total %d", par, len(results), total)
+		}
+		// The done counter is strictly increasing 1..n even under a
+		// parallel pool (the callback runs under the runner's lock).
+		if len(dones) != 6 {
+			t.Fatalf("par=%d: %d progress callbacks", par, len(dones))
+		}
+		for i, d := range dones {
+			if d != i+1 {
+				t.Fatalf("par=%d: done sequence %v", par, dones)
+			}
+		}
 	}
 }

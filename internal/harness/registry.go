@@ -25,6 +25,18 @@ type Opts struct {
 	// a fleet ignore it. Zero keeps each scenario's default (one shared
 	// engine).
 	Shards int
+	// Metrics enables simulated-time telemetry scraping in scenarios
+	// that support it (the -metrics flag). The collected rows are keyed
+	// by virtual time, so exports are byte-identical for any -par or
+	// -shards value.
+	Metrics bool
+	// SpanRecords enables per-request hop spans in fleet scenarios (the
+	// -spans flag). Same determinism guarantee as Metrics.
+	SpanRecords bool
+	// Progress, when non-nil, receives one callback per completed cell
+	// (the -v flag). Called in completion order; it never influences
+	// results.
+	Progress Progress
 }
 
 // ApplySeed returns the scenario's default seed, or the override when
@@ -141,7 +153,7 @@ func RunScenarios(ss []*Scenario, opt Opts, par int) *Sweep {
 		par = len(jobs)
 	}
 	start := time.Now()
-	results := Run(jobs, par)
+	results := RunProgress(jobs, par, opt.Progress)
 	sw := &Sweep{Opt: opt, Par: par, HostTime: time.Since(start)}
 	for i, s := range ss {
 		sw.Scenarios = append(sw.Scenarios, ScenarioResult{

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -49,12 +50,31 @@ type Output struct {
 	// TimedOut marks cells that hit their horizon (the paper's white
 	// squares).
 	TimedOut bool
+	// Events counts engine events the cell fired (0 when the workload
+	// does not report it). Profiling data: combined with host time it
+	// gives events per wall second.
+	Events int64
+	// Windows and WindowWidthSum profile a sharded cell's conservative
+	// windows (zero when unsharded): the window count and the summed
+	// window widths.
+	Windows        int64
+	WindowWidthSum sim.Duration
+	// Samples holds the cell's simulated-time telemetry rows when the
+	// sweep ran with metrics enabled.
+	Samples []obs.Sample
+	// Spans holds the cell's per-request hop timelines when the sweep
+	// ran with spans enabled.
+	Spans []obs.Span
 }
 
 // Result pairs a cell's value with its measured cost.
 type Result struct {
 	Value  any
 	Metric metrics.CellMetric
+	// Samples and Spans carry the cell's telemetry through to the
+	// sweep-level exports (Sweep.WriteMetrics / WriteSpans).
+	Samples []obs.Sample
+	Spans   []obs.Span
 }
 
 // Workers normalises a -par value: n when positive, GOMAXPROCS
@@ -66,18 +86,42 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Progress is a per-cell completion callback for live sweep feedback
+// (the cmd/uschedsim -v flag). The runner invokes it under a lock —
+// completion order, not declaration order — with the finished cell's
+// metric; results themselves are still reassembled deterministically.
+type Progress func(done, total int, m metrics.CellMetric)
+
 // Run executes jobs on a bounded pool of par workers (par <= 0 means
 // GOMAXPROCS) and returns results indexed exactly like jobs, so
 // downstream assembly is independent of completion order.
 func Run(jobs []Job, par int) []Result {
+	return RunProgress(jobs, par, nil)
+}
+
+// RunProgress is Run with a per-cell completion callback (nil behaves
+// exactly like Run).
+func RunProgress(jobs []Job, par int, progress Progress) []Result {
 	par = Workers(par)
 	if par > len(jobs) {
 		par = len(jobs)
 	}
 	results := make([]Result, len(jobs))
+	var mu sync.Mutex
+	done := 0
+	report := func(r Result) {
+		if progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		progress(done, len(jobs), r.Metric)
+		mu.Unlock()
+	}
 	if par <= 1 {
 		for i := range jobs {
 			results[i] = runOne(jobs[i])
+			report(results[i])
 		}
 		return results
 	}
@@ -89,6 +133,7 @@ func Run(jobs []Job, par int) []Result {
 			defer wg.Done()
 			for i := range idx {
 				results[i] = runOne(jobs[i])
+				report(results[i])
 			}
 		}()
 	}
@@ -103,14 +148,21 @@ func Run(jobs []Job, par int) []Result {
 func runOne(j Job) Result {
 	start := time.Now()
 	out := j.Run()
-	return Result{
-		Value: out.Value,
-		Metric: metrics.CellMetric{
-			Scenario:    j.Scenario,
-			Cell:        j.Name,
-			SimSeconds:  out.SimTime.Seconds(),
-			HostSeconds: time.Since(start).Seconds(),
-			TimedOut:    out.TimedOut,
-		},
+	host := time.Since(start).Seconds()
+	m := metrics.CellMetric{
+		Scenario:    j.Scenario,
+		Cell:        j.Name,
+		SimSeconds:  out.SimTime.Seconds(),
+		HostSeconds: host,
+		TimedOut:    out.TimedOut,
+		Events:      out.Events,
+		Windows:     out.Windows,
 	}
+	if host > 0 {
+		m.SimPerHost = m.SimSeconds / host
+	}
+	if out.Windows > 0 {
+		m.MeanWindowMs = out.WindowWidthSum.Seconds() * 1e3 / float64(out.Windows)
+	}
+	return Result{Value: out.Value, Metric: m, Samples: out.Samples, Spans: out.Spans}
 }

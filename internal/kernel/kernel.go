@@ -294,6 +294,11 @@ func (k *Kernel) CoreRunnable(c int) int {
 	return n
 }
 
+// CoreQueued returns the number of threads waiting in core c's runqueue
+// (the running thread excluded) — the per-core backlog depth telemetry
+// scrapers sample.
+func (k *Kernel) CoreQueued(c int) int { return k.cores[c].queued() }
+
 // TotalRunnable returns system-wide runnable thread count (including
 // running ones) — the oversubscription level.
 func (k *Kernel) TotalRunnable() int {

@@ -29,6 +29,7 @@ var deterministicPrefixes = []string{
 	"internal/stack",
 	"internal/load",
 	"internal/cluster",
+	"internal/obs",
 	"internal/workloads",
 }
 

@@ -19,6 +19,7 @@ func TestIsDeterministic(t *testing.T) {
 		{"repro/internal/stack", true},
 		{"repro/internal/load", true},
 		{"repro/internal/cluster", true},
+		{"repro/internal/obs", true},
 		{"repro/internal/workloads", true},
 		{"repro/internal/workloads/inference", true},
 

@@ -15,6 +15,10 @@ type Limiter struct {
 	peak int
 	// queuedMax tracks the deepest the backlog got.
 	queuedMax int
+	// admitted counts admissions that ran (immediately or after
+	// queueing); delayed counts the subset that had to queue first.
+	admitted int
+	delayed  int
 }
 
 // NewLimiter returns a limiter admitting at most limit concurrent
@@ -28,6 +32,7 @@ func NewLimiter(limit int) *Limiter {
 // otherwise queues it behind earlier waiters.
 func (l *Limiter) Admit(fn func()) {
 	if l.limit <= 0 {
+		l.admitted++
 		fn()
 		return
 	}
@@ -36,10 +41,12 @@ func (l *Limiter) Admit(fn func()) {
 		if l.inflight > l.peak {
 			l.peak = l.inflight
 		}
+		l.admitted++
 		fn()
 		return
 	}
 	l.queue = append(l.queue, fn)
+	l.delayed++
 	if len(l.queue) > l.queuedMax {
 		l.queuedMax = len(l.queue)
 	}
@@ -54,6 +61,7 @@ func (l *Limiter) Done() {
 	if len(l.queue) > 0 {
 		next := l.queue[0]
 		l.queue = l.queue[1:]
+		l.admitted++
 		next()
 		return
 	}
@@ -73,3 +81,12 @@ func (l *Limiter) Peak() int { return l.peak }
 
 // QueuedMax returns the deepest the backlog got.
 func (l *Limiter) QueuedMax() int { return l.queuedMax }
+
+// Admitted counts admissions that have run so far — immediately or
+// after waiting in the backlog.
+func (l *Limiter) Admitted() int { return l.admitted }
+
+// Delayed counts admissions that could not run immediately and had to
+// queue (the limiter's "rejection" signal: with FIFO queueing nothing
+// is dropped, it is delayed instead).
+func (l *Limiter) Delayed() int { return l.delayed }

@@ -342,3 +342,69 @@ func TestLimiterDisabled(t *testing.T) {
 	}
 	l.Done() // must be a no-op
 }
+
+func TestMeterSnapshotDoesNotPerturb(t *testing.T) {
+	// Drive two meters through the same request train; snapshot one of
+	// them between every step. Final stats must be identical: Snapshot
+	// is a pure read (the sketch is copied by value), so observing a
+	// meter can never change what it reports.
+	plain := NewMeter(100 * sim.Millisecond)
+	snapped := NewMeter(100 * sim.Millisecond)
+	for i := 0; i < 20; i++ {
+		at := sim.Time(i) * sim.Time(sim.Millisecond)
+		plain.Submitted(i, at)
+		snapped.Submitted(i, at)
+		snapped.Snapshot(at)
+	}
+	for i := 0; i < 20; i++ {
+		sub := sim.Time(i) * sim.Time(sim.Millisecond)
+		done := sub.Add(sim.Duration(10+13*i) * sim.Millisecond)
+		plain.Completed(i, done)
+		snapped.Completed(i, done)
+		snap := snapped.Snapshot(done)
+		if snap.Completed != i+1 || snap.At != done {
+			t.Fatalf("snapshot %d: %+v", i, snap)
+		}
+	}
+	if plain.Stats() != snapped.Stats() {
+		t.Fatalf("snapshots perturbed the meter:\nplain   %+v\nsnapped %+v",
+			plain.Stats(), snapped.Stats())
+	}
+	// The snapshot's sketch is a value copy: quantiles diffed between
+	// two snapshots cover exactly the interleaved completions.
+	a := snapped.Snapshot(0)
+	snapped.Submitted(100, 0)
+	snapped.Completed(100, sim.Time(500*sim.Millisecond))
+	b := snapped.Snapshot(sim.Time(500 * sim.Millisecond))
+	if q := b.Sketch.QuantileSince(&a.Sketch, 0.5); q < 400*sim.Millisecond {
+		t.Fatalf("windowed quantile %v does not reflect the 500ms completion", q)
+	}
+}
+
+func TestLimiterAdmissionCounters(t *testing.T) {
+	l := NewLimiter(2)
+	for i := 0; i < 5; i++ {
+		l.Admit(func() {})
+	}
+	// 2 admitted immediately, 3 delayed behind the cap.
+	if l.Admitted() != 2 || l.Delayed() != 3 {
+		t.Fatalf("admitted %d delayed %d", l.Admitted(), l.Delayed())
+	}
+	for i := 0; i < 5; i++ {
+		l.Done()
+	}
+	// FIFO queueing drops nothing: every delayed admission eventually
+	// runs, so admitted catches up to the full train.
+	if l.Admitted() != 5 || l.Delayed() != 3 {
+		t.Fatalf("after drain: admitted %d delayed %d", l.Admitted(), l.Delayed())
+	}
+
+	// A disabled limiter admits everything and delays nothing.
+	free := NewLimiter(0)
+	for i := 0; i < 4; i++ {
+		free.Admit(func() {})
+	}
+	if free.Admitted() != 4 || free.Delayed() != 0 {
+		t.Fatalf("disabled: admitted %d delayed %d", free.Admitted(), free.Delayed())
+	}
+}

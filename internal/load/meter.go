@@ -63,6 +63,36 @@ func (m *Meter) Completed(id int, t sim.Time) sim.Duration {
 // InFlight returns the number of submitted-but-uncompleted requests.
 func (m *Meter) InFlight() int { return len(m.inflight) }
 
+// MeterSnapshot is a cheap point-in-time view of a Meter for scrapers:
+// plain counter copies plus a value copy of the streaming sketch, so a
+// later snapshot can be diffed against it for windowed statistics
+// (Sketch.QuantileSince) without the meter retaining any history.
+type MeterSnapshot struct {
+	// At is the simulated instant the snapshot was taken.
+	At sim.Time
+	// InFlight, Submitted, Completed, and Violations copy the meter's
+	// counters at At.
+	InFlight, Submitted, Completed, Violations int
+	// Sketch is a value copy of the streaming latency sketch.
+	Sketch metrics.Sketch
+}
+
+// Snapshot copies the meter's state at simulated time at. It only reads
+// the meter — taking snapshots at any cadence leaves the streaming
+// statistics byte-identical — and the cost is a fixed-size copy
+// (the sketch's bucket array), independent of how much the meter has
+// recorded.
+func (m *Meter) Snapshot(at sim.Time) MeterSnapshot {
+	return MeterSnapshot{
+		At:         at,
+		InFlight:   len(m.inflight),
+		Submitted:  m.submitted,
+		Completed:  m.completed,
+		Violations: m.violations,
+		Sketch:     m.sketch,
+	}
+}
+
 // MergeInto merges the meter's latency sketch into dst, so several
 // meters' populations can be aggregated (cluster-wide percentiles
 // across per-node meters) without retaining any samples.

@@ -135,6 +135,21 @@ type CellMetric struct {
 	// start to finish of its Run, including time descheduled while
 	// other cells share the host's cores.
 	HostSeconds float64 `json:"host_seconds"`
+	// SimPerHost is SimSeconds/HostSeconds — simulated seconds per wall
+	// second, the simulator's headline speed metric. Like HostSeconds
+	// it is host timing, so compare it across changes only at equal
+	// -par.
+	SimPerHost float64 `json:"sim_per_host,omitempty"`
+	// Events counts discrete events the cell's engine(s) fired
+	// (sim.Engine.Processed, summed across shards). Sharded cells fire
+	// a few extra coordination events (stop messages), so compare
+	// across changes at equal -shards.
+	Events int64 `json:"events,omitempty"`
+	// Windows and MeanWindowMs profile sharded cells: the number of
+	// conservative-parallel lockstep windows run and their mean width
+	// in simulated milliseconds. Zero for unsharded cells.
+	Windows      int64   `json:"windows,omitempty"`
+	MeanWindowMs float64 `json:"mean_window_ms,omitempty"`
 	// TimedOut marks cells that hit their simulation horizon.
 	TimedOut bool `json:"timed_out,omitempty"`
 }
@@ -142,7 +157,7 @@ type CellMetric struct {
 // WriteCellCSV writes cells as CSV with a header row.
 func WriteCellCSV(w io.Writer, cells []CellMetric) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"scenario", "cell", "sim_seconds", "host_seconds", "timed_out"}); err != nil {
+	if err := cw.Write([]string{"scenario", "cell", "sim_seconds", "host_seconds", "sim_per_host", "events", "windows", "mean_window_ms", "timed_out"}); err != nil {
 		return err
 	}
 	for _, c := range cells {
@@ -151,6 +166,10 @@ func WriteCellCSV(w io.Writer, cells []CellMetric) error {
 			c.Cell,
 			strconv.FormatFloat(c.SimSeconds, 'g', -1, 64),
 			strconv.FormatFloat(c.HostSeconds, 'g', -1, 64),
+			strconv.FormatFloat(c.SimPerHost, 'g', -1, 64),
+			strconv.FormatInt(c.Events, 10),
+			strconv.FormatInt(c.Windows, 10),
+			strconv.FormatFloat(c.MeanWindowMs, 'g', -1, 64),
 			strconv.FormatBool(c.TimedOut),
 		}
 		if err := cw.Write(rec); err != nil {

@@ -223,8 +223,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestCellMetricCSV(t *testing.T) {
 	cells := []CellMetric{
-		{Scenario: "matmul", Cell: "coop/tasks512/omp8", SimSeconds: 1.5, HostSeconds: 0.25},
-		{Scenario: "matmul", Cell: "original/tasks512/omp8", SimSeconds: 5, HostSeconds: 0.5, TimedOut: true},
+		{Scenario: "matmul", Cell: "coop/tasks512/omp8", SimSeconds: 1.5, HostSeconds: 0.25, SimPerHost: 6},
+		{Scenario: "matmul", Cell: "original/tasks512/omp8", SimSeconds: 5, HostSeconds: 0.5, SimPerHost: 10, TimedOut: true},
 	}
 	var sb strings.Builder
 	if err := WriteCellCSV(&sb, cells); err != nil {
@@ -234,13 +234,13 @@ func TestCellMetricCSV(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("line count = %d:\n%s", len(lines), sb.String())
 	}
-	if lines[0] != "scenario,cell,sim_seconds,host_seconds,timed_out" {
+	if lines[0] != "scenario,cell,sim_seconds,host_seconds,sim_per_host,events,windows,mean_window_ms,timed_out" {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "matmul,coop/tasks512/omp8,1.5,0.25,false" {
+	if lines[1] != "matmul,coop/tasks512/omp8,1.5,0.25,6,0,0,0,false" {
 		t.Fatalf("row 1 = %q", lines[1])
 	}
-	if lines[2] != "matmul,original/tasks512/omp8,5,0.5,true" {
+	if lines[2] != "matmul,original/tasks512/omp8,5,0.5,10,0,0,0,true" {
 		t.Fatalf("row 2 = %q", lines[2])
 	}
 }

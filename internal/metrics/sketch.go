@@ -124,6 +124,42 @@ func (s *Sketch) Quantile(q float64) sim.Duration {
 	return sim.Duration(s.max)
 }
 
+// QuantileSince returns the q-quantile of the samples recorded after
+// prev was copied from this sketch — the windowed counterpart of
+// Quantile, computed by diffing bucket counts. prev must be an earlier
+// snapshot of the same sketch (same sample stream); the result carries
+// the same 1% relative-error bound, clamped into the lifetime [Min,
+// Max] (the window's own extrema are not retained). Returns 0 when the
+// window is empty.
+func (s *Sketch) QuantileSince(prev *Sketch, q float64) sim.Duration {
+	n := s.n - prev.n
+	if n <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n-1))
+	var cum int64
+	for i := range s.counts {
+		cum += s.counts[i] - prev.counts[i]
+		if cum > rank {
+			v := sketchMid(i)
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return sim.Duration(v)
+		}
+	}
+	return sim.Duration(s.max)
+}
+
 // Merge adds every sample recorded in o into s.
 func (s *Sketch) Merge(o *Sketch) {
 	if o.n == 0 {

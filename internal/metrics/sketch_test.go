@@ -186,3 +186,41 @@ func TestSketchMergeWithinErrorBoundVsExact(t *testing.T) {
 		}
 	}
 }
+
+func TestSketchQuantileSince(t *testing.T) {
+	var s Sketch
+	// First window: 100 values around 10ms.
+	for i := 0; i < 100; i++ {
+		s.Add(10*sim.Millisecond + sim.Duration(i)*sim.Microsecond)
+	}
+	prev := s // value copy: the window boundary snapshot
+	// Second window: 100 values around 500ms.
+	for i := 0; i < 100; i++ {
+		s.Add(500*sim.Millisecond + sim.Duration(i)*sim.Microsecond)
+	}
+	// The cumulative median straddles both populations, but the
+	// windowed median must see only the second window.
+	if got := s.QuantileSince(&prev, 0.5); got < 400*sim.Millisecond {
+		t.Fatalf("windowed p50 = %v, want ~500ms", got)
+	}
+	if got := s.QuantileSince(&prev, 0.99); got < 400*sim.Millisecond {
+		t.Fatalf("windowed p99 = %v, want ~500ms", got)
+	}
+	// An empty window (no completions since prev) reports zero.
+	now := s
+	if got := s.QuantileSince(&now, 0.99); got != 0 {
+		t.Fatalf("empty-window quantile = %v", got)
+	}
+	// Out-of-range q clamps instead of indexing out of bounds.
+	if got := s.QuantileSince(&prev, 1.5); got == 0 {
+		t.Fatal("q>1 returned zero")
+	}
+	if got := s.QuantileSince(&prev, -1); got == 0 {
+		t.Fatal("q<0 returned zero")
+	}
+	// Diffing against the zero sketch is the cumulative quantile.
+	var zero Sketch
+	if got, want := s.QuantileSince(&zero, 0.5), s.Quantile(0.5); got != want {
+		t.Fatalf("since-zero p50 = %v, cumulative = %v", got, want)
+	}
+}

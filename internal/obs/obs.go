@@ -1,0 +1,225 @@
+// Package obs is the simulator's deterministic observability layer:
+// simulated-time metrics scraping and per-request spans.
+//
+// A Registry is bound to one engine and samples its registered probes
+// on the simulated timeline — a self-rescheduling engine timer fires
+// every Interval and appends one Sample per series. Because scrape
+// instants are virtual times (k*Interval) and probe values are pure
+// functions of simulation state, the collected samples are a pure
+// function of the scenario configuration and seed: byte-identical for
+// any host parallelism and — when each registry lives on the engine
+// its observed state is homed on — for any shard count.
+//
+// The scrape timer would keep an engine's queue from ever draining, so
+// a registry must be stopped explicitly at the workload-defined end of
+// measurement (Stop). Stop takes a cutoff instant and discards samples
+// beyond it: a sharded fleet stops remote registries one lookahead
+// after the final completion (the earliest safe instant), and the
+// cutoff trims the straggler samples so sharded and unsharded runs
+// export identical rows.
+//
+// Everything here lives inside the deterministic core (simlint-clean):
+// no wall clock, no maps, no global RNG, no goroutines. When no
+// registry is attached, instrumented code pays only a nil check — the
+// disabled path allocates nothing.
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Sample is one scraped metric point in long format: which series, on
+// which node, at which simulated instant, with what value.
+type Sample struct {
+	// Series names the metric ("meter/inflight", "kernel/steals", ...).
+	Series string
+	// Node labels the fleet member the value belongs to.
+	Node string
+	// At is the simulated scrape instant.
+	At sim.Time
+	// Value is the sampled value.
+	Value float64
+}
+
+// Emit records one series value during a scrape. Scrapers call it once
+// per series they own.
+type Emit func(series, node string, v float64)
+
+// Scraper is a probe that emits one or more series per scrape. Prefer
+// it over individual gauges when several series share windowed state
+// (e.g. a quantile-since-last-scrape), so the window advances exactly
+// once per scrape.
+type Scraper interface {
+	Scrape(at sim.Time, emit Emit)
+}
+
+// DefaultMaxRounds bounds how many scrape rounds a registry runs: a
+// protective cap so a run that hits its horizon (and is therefore never
+// Stopped by its workload) cannot grow samples without bound. Rounds
+// are indexed by simulated time (round k fires at k*Interval), so the
+// cap cuts at the same virtual instant for any shard count.
+const DefaultMaxRounds = 1 << 16
+
+// gauge adapts a plain closure to the Scraper interface.
+type gauge struct {
+	series, node string
+	fn           func() float64
+}
+
+func (g *gauge) Scrape(at sim.Time, emit Emit) { emit(g.series, g.node, g.fn()) }
+
+// Registry scrapes a set of probes on one engine's simulated timeline.
+type Registry struct {
+	eng      *sim.Engine
+	node     string
+	interval sim.Duration
+
+	scrapers []Scraper
+	samples  []Sample
+
+	ev      sim.Event
+	emitFn  Emit // bound method value, allocated once at New
+	rounds  int
+	stopped bool
+
+	// MaxRounds caps scrape rounds (see DefaultMaxRounds). Adjust
+	// before Start.
+	MaxRounds int
+}
+
+// New returns a registry scraping every interval on eng, labelling
+// single-series gauges with the given default node name. Register
+// probes, then call Start; stop it at the workload's end of measurement
+// with Stop.
+func New(eng *sim.Engine, node string, interval sim.Duration) *Registry {
+	if interval <= 0 {
+		panic("obs: scrape interval must be positive")
+	}
+	r := &Registry{eng: eng, node: node, interval: interval, MaxRounds: DefaultMaxRounds}
+	r.emitFn = r.emit
+	return r
+}
+
+// Node returns the registry's default node label.
+func (r *Registry) Node() string { return r.node }
+
+// Engine returns the engine the registry scrapes on.
+func (r *Registry) Engine() *sim.Engine { return r.eng }
+
+// Interval returns the scrape interval.
+func (r *Registry) Interval() sim.Duration { return r.interval }
+
+// Gauge registers fn as a series sampled every scrape, labelled with
+// the registry's default node.
+func (r *Registry) Gauge(series string, fn func() float64) {
+	r.GaugeNode(series, r.node, fn)
+}
+
+// GaugeNode registers fn as a series sampled every scrape, labelled
+// with an explicit node (for registries that observe state belonging to
+// several fleet members, e.g. the client edge's per-node view).
+func (r *Registry) GaugeNode(series, node string, fn func() float64) {
+	r.scrapers = append(r.scrapers, &gauge{series: series, node: node, fn: fn})
+}
+
+// Counter registers a monotone integer-valued probe. Cumulative
+// counters are exported as their current value; consumers diff
+// consecutive samples for rates.
+func (r *Registry) Counter(series string, fn func() int64) {
+	r.Gauge(series, func() float64 { return float64(fn()) })
+}
+
+// AddScraper registers a multi-series probe.
+func (r *Registry) AddScraper(s Scraper) { r.scrapers = append(r.scrapers, s) }
+
+// Start arms the scrape timer: the first scrape fires one interval from
+// now, then every interval until Stop (or the round cap).
+func (r *Registry) Start() {
+	if r.ev.Active() {
+		panic("obs: Start called twice")
+	}
+	r.stopped = false
+	r.ev = r.eng.AfterFunc(r.interval, registryScrape, r)
+}
+
+// registryScrape is the timer callback: sample every probe at the
+// current virtual instant and reschedule.
+func registryScrape(arg any) {
+	r := arg.(*Registry)
+	r.ev = sim.Event{}
+	at := r.eng.Now()
+	for _, s := range r.scrapers {
+		s.Scrape(at, r.emitFn)
+	}
+	r.rounds++
+	if r.stopped || r.rounds >= r.MaxRounds {
+		return
+	}
+	r.ev = r.eng.AtFunc(at.Add(r.interval), registryScrape, r)
+}
+
+func (r *Registry) emit(series, node string, v float64) {
+	r.samples = append(r.samples, Sample{Series: series, Node: node, At: r.eng.Now(), Value: v})
+}
+
+// Stop ends scraping and discards samples taken after cutoff. The
+// cutoff makes sharded runs export the same rows as unsharded ones: a
+// remote registry is stopped one lookahead after the workload's final
+// completion, and any scrape that fired in that coordination window is
+// trimmed here. Stop must run in the registry's engine context (or at a
+// barrier). Idempotent.
+func (r *Registry) Stop(cutoff sim.Time) {
+	r.stopped = true
+	r.ev.Cancel()
+	r.ev = sim.Event{}
+	n := len(r.samples)
+	for n > 0 && r.samples[n-1].At > cutoff {
+		n--
+	}
+	r.samples = r.samples[:n]
+}
+
+// Samples returns the collected rows in scrape order (ascending At;
+// registration order within one instant).
+func (r *Registry) Samples() []Sample { return r.samples }
+
+// SortSamples orders rows by (At, Node, Series) — the canonical export
+// order. Rows from several registries (one per shard engine) merge into
+// one deterministic, shard-count-invariant sequence under it.
+func SortSamples(ss []Sample) {
+	sort.Sort((*sampleSlice)(&ss))
+}
+
+// sampleSlice sorts samples by (At, Node, Series); a named type so the
+// deterministic core avoids closure-based sort.Slice on hot paths.
+type sampleSlice []Sample
+
+func (s *sampleSlice) Len() int { return len(*s) }
+func (s *sampleSlice) Less(i, j int) bool {
+	a, b := (*s)[i], (*s)[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Series < b.Series
+}
+func (s *sampleSlice) Swap(i, j int) { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+
+// MergeSamples concatenates per-registry rows and sorts them into the
+// canonical export order.
+func MergeSamples(groups ...[]Sample) []Sample {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	out := make([]Sample, 0, n)
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	SortSamples(out)
+	return out
+}

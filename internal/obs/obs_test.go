@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegistryScrapesOnTheVirtualTimeline(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng, "n0", 10*sim.Millisecond)
+	v := 0.0
+	r.Gauge("g", func() float64 { return v })
+	r.Start()
+	// A workload event between scrapes changes the observed value; the
+	// scrape at each k*interval must see the value current at that
+	// instant.
+	eng.AfterFunc(15*sim.Millisecond, func(any) { v = 7 }, nil)
+	eng.AfterFunc(35*sim.Millisecond, func(any) {
+		v = 9
+		r.Stop(eng.Now())
+	}, nil)
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	ss := r.Samples()
+	want := []Sample{
+		{Series: "g", Node: "n0", At: sim.Time(10 * sim.Millisecond), Value: 0},
+		{Series: "g", Node: "n0", At: sim.Time(20 * sim.Millisecond), Value: 7},
+		{Series: "g", Node: "n0", At: sim.Time(30 * sim.Millisecond), Value: 7},
+	}
+	if len(ss) != len(want) {
+		t.Fatalf("samples = %+v", ss)
+	}
+	for i := range want {
+		if ss[i] != want[i] {
+			t.Fatalf("sample %d = %+v, want %+v", i, ss[i], want[i])
+		}
+	}
+	// Stop cancelled the pending scrape: the engine ran dry at the stop
+	// event, not at some later scrape instant.
+	if now := eng.Now(); now != sim.Time(35*sim.Millisecond) {
+		t.Fatalf("engine drained at %v", now)
+	}
+}
+
+func TestRegistryStopTrimsPastCutoff(t *testing.T) {
+	// A remote registry is stopped one lookahead AFTER the cutoff: any
+	// scrape that fired inside the coordination window must be trimmed
+	// so sharded and unsharded runs export identical rows.
+	eng := sim.NewEngine(1)
+	r := New(eng, "n0", 10*sim.Millisecond)
+	r.Gauge("g", func() float64 { return 1 })
+	r.Start()
+	cutoff := sim.Time(25 * sim.Millisecond)
+	eng.AfterFunc(42*sim.Millisecond, func(any) { r.Stop(cutoff) }, nil)
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	ss := r.Samples()
+	if len(ss) != 2 {
+		t.Fatalf("samples = %+v", ss)
+	}
+	for _, s := range ss {
+		if s.At > cutoff {
+			t.Fatalf("sample past cutoff survived: %+v", s)
+		}
+	}
+	// Idempotent.
+	r.Stop(cutoff)
+	if len(r.Samples()) != 2 {
+		t.Fatal("second Stop changed the samples")
+	}
+}
+
+func TestRegistryRoundCapBoundsTimedOutRuns(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng, "n0", sim.Millisecond)
+	r.MaxRounds = 5
+	r.Gauge("g", func() float64 { return 1 })
+	r.Start()
+	// Never stopped: the cap must end the self-rescheduling chain so
+	// the engine can run dry.
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Samples()) != 5 {
+		t.Fatalf("samples = %d, want 5", len(r.Samples()))
+	}
+	if now := eng.Now(); now != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("engine drained at %v", now)
+	}
+}
+
+func TestRegistryCounterAndScraper(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng, "n0", 10*sim.Millisecond)
+	n := int64(41)
+	r.Counter("c", func() int64 { return n })
+	r.AddScraper(&gauge{series: "s", node: "other", fn: func() float64 { return 2 }})
+	r.Start()
+	eng.AfterFunc(10*sim.Millisecond, func(any) { r.Stop(eng.Now()) }, nil)
+	if _, err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	ss := r.Samples()
+	if len(ss) != 2 || ss[0].Value != 41 || ss[1].Node != "other" {
+		t.Fatalf("samples = %+v", ss)
+	}
+}
+
+func TestStartPanicsWhenActive(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := New(eng, "n0", sim.Millisecond)
+	r.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Start did not panic")
+		}
+	}()
+	r.Start()
+}
+
+func TestNewRejectsNonPositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	New(sim.NewEngine(1), "n0", 0)
+}
+
+func TestMergeSamplesCanonicalOrder(t *testing.T) {
+	a := []Sample{
+		{Series: "z", Node: "n1", At: 20},
+		{Series: "a", Node: "n1", At: 10},
+	}
+	b := []Sample{
+		{Series: "a", Node: "n0", At: 10},
+		{Series: "b", Node: "n1", At: 10},
+	}
+	got := MergeSamples(a, b)
+	want := []Sample{
+		{Series: "a", Node: "n0", At: 10},
+		{Series: "a", Node: "n1", At: 10},
+		{Series: "b", Node: "n1", At: 10},
+		{Series: "z", Node: "n1", At: 20},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Inputs are untouched (merge copies).
+	if a[0].Series != "z" {
+		t.Fatal("MergeSamples mutated its input")
+	}
+}
+
+func mkSpan(id int, submit, net1, queue, svc, net2 sim.Duration) Span {
+	s := Span{ID: id, Node: "n0", Submit: sim.Time(submit)}
+	s.Arrive = s.Submit.Add(net1)
+	s.Start = s.Arrive.Add(queue)
+	s.Done = s.Start.Add(svc)
+	s.Reply = s.Done.Add(net2)
+	return s
+}
+
+func TestSpanHops(t *testing.T) {
+	s := mkSpan(0, 5, 10, 20, 30, 40)
+	if s.Network() != 50 || s.Queue() != 20 || s.Service() != 30 || s.Total() != 100 {
+		t.Fatalf("hops: net=%v queue=%v svc=%v total=%v", s.Network(), s.Queue(), s.Service(), s.Total())
+	}
+	if !s.Complete() || (Span{ID: 1}).Complete() {
+		t.Fatal("completeness marker wrong")
+	}
+}
+
+func TestBreakTail(t *testing.T) {
+	// 9 fast spans dominated by service time, 1 slow span dominated by
+	// queueing. At q=1 the tail set is exactly the slow span, so its
+	// queue share dominates the breakdown.
+	var ss []Span
+	for i := 0; i < 9; i++ {
+		ss = append(ss, mkSpan(i, sim.Duration(i), 10, 10, 80, 10))
+	}
+	ss = append(ss, mkSpan(9, 100, 10, 900, 80, 10))
+	b := BreakTail(ss, 1)
+	if b.N != 1 || b.Threshold != 1000 {
+		t.Fatalf("tail set: %+v", b)
+	}
+	if b.Queue < 0.89 || b.Queue > 0.91 {
+		t.Fatalf("queue share = %v, want ~0.9", b.Queue)
+	}
+	if sum := b.Network + b.Queue + b.Service; sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+
+	// At q=0.9 the threshold index (floor of q*(n-1)) lands on the tied
+	// fast total, so the >=-threshold tail set covers every span.
+	if b := BreakTail(ss, 0.9); b.Threshold != 110 || b.N != 10 {
+		t.Fatalf("q=0.9 tail set: %+v", b)
+	}
+
+	// Quantile 0 covers every complete span.
+	all := BreakTail(ss, 0)
+	if all.N != 10 {
+		t.Fatalf("q=0 tail N = %d", all.N)
+	}
+
+	// Incomplete spans are excluded; all-incomplete gives a zero value.
+	if z := BreakTail([]Span{{ID: 0}, {ID: 1}}, 0.99); z != (TailBreakdown{}) {
+		t.Fatalf("incomplete-only breakdown = %+v", z)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/load"
+	"repro/internal/sim"
+)
+
+// Observers for the load-bearing simulation state: load.Meter,
+// load.Limiter, and the kernel scheduler. Each registers the series the
+// telemetry spec cares about on a Registry; all per-scrape work reads
+// simulation state only, so attaching an observer never perturbs the
+// run.
+
+// meterScraper emits a Meter's series, including windowed statistics
+// diffed against the previous scrape's snapshot.
+type meterScraper struct {
+	m      *load.Meter
+	node   string
+	prefix string
+	prev   load.MeterSnapshot
+}
+
+// Scrape emits in-flight depth, cumulative completions, windowed
+// goodput (SLO-met completions per simulated second since the last
+// scrape), and the windowed p99 (quantile of latencies recorded since
+// the last scrape, via sketch snapshot diffing).
+func (s *meterScraper) Scrape(at sim.Time, emit Emit) {
+	snap := s.m.Snapshot(at)
+	emit(s.prefix+"/inflight", s.node, float64(snap.InFlight))
+	emit(s.prefix+"/completed", s.node, float64(snap.Completed))
+	win := at.Sub(s.prev.At).Seconds()
+	good := 0.0
+	if win > 0 {
+		good = float64((snap.Completed-snap.Violations)-(s.prev.Completed-s.prev.Violations)) / win
+	}
+	emit(s.prefix+"/goodput_win", s.node, good)
+	emit(s.prefix+"/p99_win_s", s.node, snap.Sketch.QuantileSince(&s.prev.Sketch, 0.99).Seconds())
+	s.prev = snap
+}
+
+// ObserveMeter registers a meter's series under prefix ("meter" →
+// "meter/inflight", "meter/completed", "meter/goodput_win",
+// "meter/p99_win_s"), labelled with node.
+func ObserveMeter(reg *Registry, node, prefix string, m *load.Meter) {
+	reg.AddScraper(&meterScraper{m: m, node: node, prefix: prefix})
+}
+
+// ObserveLimiter registers an admission limiter's series under prefix:
+// current in-flight and backlog depth plus the cumulative admitted and
+// delayed counts.
+func ObserveLimiter(reg *Registry, node, prefix string, l *load.Limiter) {
+	reg.GaugeNode(prefix+"/inflight", node, func() float64 { return float64(l.InFlight()) })
+	reg.GaugeNode(prefix+"/queued", node, func() float64 { return float64(l.Queued()) })
+	reg.GaugeNode(prefix+"/admitted", node, func() float64 { return float64(l.Admitted()) })
+	reg.GaugeNode(prefix+"/delayed", node, func() float64 { return float64(l.Delayed()) })
+}
+
+// kernelScraper emits a kernel's scheduler series: per-core runqueue
+// depth, total runnable threads, and cumulative steals.
+type kernelScraper struct {
+	k      *kernel.Kernel
+	node   string
+	series []string // per-core series names, formatted once
+}
+
+func (s *kernelScraper) Scrape(at sim.Time, emit Emit) {
+	for c, name := range s.series {
+		emit(name, s.node, float64(s.k.CoreQueued(c)))
+	}
+	emit("kernel/runnable", s.node, float64(s.k.TotalRunnable()))
+	emit("kernel/steals", s.node, float64(s.k.Stats.Steals))
+}
+
+// ObserveKernel registers a kernel's scheduler series labelled with
+// node: "kernel/runq/coreNN" per core, "kernel/runnable", and
+// "kernel/steals".
+func ObserveKernel(reg *Registry, node string, k *kernel.Kernel) {
+	s := &kernelScraper{k: k, node: node, series: make([]string, k.NumCores())}
+	for c := range s.series {
+		s.series[c] = fmt.Sprintf("kernel/runq/core%02d", c)
+	}
+	reg.AddScraper(s)
+}

@@ -372,3 +372,22 @@ func TestStopBetweenRunsIsNotLost(t *testing.T) {
 		t.Fatalf("count = %d, want 2", count)
 	}
 }
+
+func TestProcessedCountsFiredEvents(t *testing.T) {
+	e := NewEngine(1)
+	if e.Processed() != 0 {
+		t.Fatalf("fresh engine processed = %d", e.Processed())
+	}
+	for i := 0; i < 5; i++ {
+		e.After(Duration(i+1)*Millisecond, func() {})
+	}
+	// A cancelled event never fires, so it must not count.
+	ev := e.AfterFunc(10*Millisecond, func(any) {}, nil)
+	ev.Cancel()
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("processed = %d, want 5", e.Processed())
+	}
+}

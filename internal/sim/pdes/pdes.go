@@ -150,6 +150,11 @@ type Group struct {
 	merged    msgSlice // barrier scratch, reused across windows
 	active    []*Shard // window scratch: shards with work this window
 	running   bool
+
+	// windows and widthSum profile the coordinator: how many lockstep
+	// windows ran and their total simulated width (see WindowStats).
+	windows  int64
+	widthSum sim.Duration
 }
 
 // New returns an empty group with the given lookahead — the minimum
@@ -288,6 +293,8 @@ func (g *Group) Run(until sim.Time) (sim.Time, error) {
 		if end > until {
 			end = until
 		}
+		g.windows++
+		g.widthSum += end.Sub(minNext) + 1
 
 		if err := g.window(end, parallel); err != nil {
 			return g.Now(), err
@@ -369,6 +376,32 @@ func (g *Group) exchange() {
 		g.shards[m.src].free = append(g.shards[m.src].free, m)
 		g.merged[i] = nil
 	}
+}
+
+// WindowStats profiles a group's run so far: lockstep windows executed,
+// their total simulated width, and per-shard processed-event counts.
+// All three are host-timing-free, but they describe the coordination
+// structure — which only exists when sharded — so they belong in run
+// profiling reports, not in shard-count-invariant metric exports.
+type WindowStats struct {
+	// Windows counts the lockstep windows the coordinator ran.
+	Windows int64
+	// WidthSum is the total simulated width of those windows; divide by
+	// Windows for the mean safe-window width (bounded by the lookahead).
+	WidthSum sim.Duration
+	// ShardEvents[i] is the number of events shard i's engine fired.
+	ShardEvents []uint64
+}
+
+// WindowStats returns the group's window profile. Call it at a barrier
+// (after Run returns).
+func (g *Group) WindowStats() WindowStats {
+	st := WindowStats{Windows: g.windows, WidthSum: g.widthSum,
+		ShardEvents: make([]uint64, len(g.shards))}
+	for i, s := range g.shards {
+		st.ShardEvents[i] = s.eng.Processed()
+	}
+	return st
 }
 
 // RunHorizon drives the group with an optional horizon (non-positive

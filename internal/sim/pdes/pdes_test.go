@@ -202,3 +202,41 @@ func TestEmptyGroupAndZeroLookahead(t *testing.T) {
 	}()
 	New(0)
 }
+
+func TestWindowStats(t *testing.T) {
+	g, s := newGroup(2)
+	// A ping-pong across shards: each leg forces at least one more
+	// conservative window.
+	var hops int
+	var bounce func(arg any)
+	bounce = func(arg any) {
+		hops++
+		if hops >= 4 {
+			return
+		}
+		from, to := s[hops%2], s[(hops+1)%2]
+		from.Send(to, from.Engine().Now().Add(look), bounce, nil)
+	}
+	s[1].Engine().After(look, func() { s[1].Send(s[0], s[1].Engine().Now().Add(look), bounce, nil) })
+	if _, err := g.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	ws := g.WindowStats()
+	if ws.Windows <= 0 {
+		t.Fatalf("windows = %d", ws.Windows)
+	}
+	if ws.WidthSum <= 0 {
+		t.Fatalf("width sum = %v", ws.WidthSum)
+	}
+	if len(ws.ShardEvents) != 2 {
+		t.Fatalf("shard events = %v", ws.ShardEvents)
+	}
+	var events uint64
+	for _, n := range ws.ShardEvents {
+		events += n
+	}
+	// 1 kickoff + 4 bounce deliveries fired across the group.
+	if events != 5 {
+		t.Fatalf("total events = %d, want 5", events)
+	}
+}

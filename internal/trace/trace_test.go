@@ -38,6 +38,67 @@ func TestBufferRingDropsOldest(t *testing.T) {
 	}
 }
 
+func TestBufferWraparoundBoundary(t *testing.T) {
+	// Exactly at capacity: the ring is full but nothing is dropped yet.
+	b := NewBuffer(4)
+	for i := 0; i < 4; i++ {
+		b.Add(Event{At: sim.Time(i)})
+	}
+	if b.Len() != 4 || b.Dropped != 0 {
+		t.Fatalf("at capacity: len=%d dropped=%d", b.Len(), b.Dropped)
+	}
+	evs := b.Events()
+	if evs[0].At != 0 || evs[3].At != 3 {
+		t.Fatalf("at capacity contents %v", evs)
+	}
+	// One past capacity: exactly the oldest is dropped, order preserved.
+	b.Add(Event{At: 4})
+	if b.Len() != 4 || b.Dropped != 1 {
+		t.Fatalf("past capacity: len=%d dropped=%d", b.Len(), b.Dropped)
+	}
+	evs = b.Events()
+	for i := range evs {
+		if evs[i].At != sim.Time(i+1) {
+			t.Fatalf("post-wrap order broken: %v", evs)
+		}
+	}
+	// Several full revolutions: drop accounting keeps counting, and the
+	// surviving window is always the newest cap events in order.
+	for i := 5; i < 103; i++ {
+		b.Add(Event{At: sim.Time(i)})
+	}
+	if b.Len() != 4 || b.Dropped != 99 {
+		t.Fatalf("revolved: len=%d dropped=%d", b.Len(), b.Dropped)
+	}
+	evs = b.Events()
+	for i := range evs {
+		if evs[i].At != sim.Time(99+i) {
+			t.Fatalf("revolved window wrong: %v", evs)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindRunStart, "run-start"},
+		{KindRunEnd, "run-end"},
+		{KindWake, "wake"},
+		{KindBlock, "block"},
+		{KindCustom, "custom"},
+		// Out-of-range kinds fall back to the custom label rather than
+		// panicking or printing a bare integer.
+		{Kind(99), "custom"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}
+
 func TestChromeTraceJSON(t *testing.T) {
 	b := NewBuffer(0)
 	b.Add(Event{At: 1000, Kind: KindRunStart, Core: 2, Thread: "w", TID: 7})

@@ -20,6 +20,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/load"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rt/omp"
 	"repro/internal/sim"
 	"repro/internal/stack"
@@ -113,6 +114,11 @@ type Config struct {
 	// Tracer, when non-nil, records the kernel's scheduling events for
 	// Chrome trace-event export (cmd/uschedsim -trace).
 	Tracer *trace.Buffer
+	// MetricsInterval, when positive, scrapes the run's meter, admission
+	// limiter, and kernel scheduler every interval of simulated time into
+	// Result.Samples. Zero (the default) disables scraping; the
+	// instrumented paths then cost nothing.
+	MetricsInterval sim.Duration
 }
 
 // RequestTrace records one request's lifecycle (Fig. 4 bottom).
@@ -138,6 +144,12 @@ type Result struct {
 	Preemptions     int64
 	ContextSwitches int64
 	Migrations      int64
+	// Samples holds the simulated-time telemetry rows when
+	// Config.MetricsInterval was set (node label "local").
+	Samples []obs.Sample
+	// Events counts engine events fired over the run — host-side
+	// profiling data (events per wall second), not simulation output.
+	Events int64
 }
 
 type request struct {
@@ -310,6 +322,19 @@ func Run(cfg Config) Result {
 	meter := load.NewMeter(cfg.SLO)
 	admit := load.NewLimiter(cfg.MaxInFlight)
 
+	// Optional simulated-time telemetry. The registry is stopped at the
+	// final completion instant; a timed-out run leaves it to the round
+	// cap, which cuts at the same virtual instant regardless of host
+	// parallelism.
+	var reg *obs.Registry
+	if cfg.MetricsInterval > 0 {
+		reg = obs.New(sys.Eng, "local", cfg.MetricsInterval)
+		obs.ObserveMeter(reg, "local", "meter", meter)
+		obs.ObserveLimiter(reg, "local", "admit", admit)
+		obs.ObserveKernel(reg, "local", k)
+		reg.Start()
+	}
+
 	// Gateway.
 	_, err := sys.Start("gateway", mode, glibc.Options{Nice: 0, Affinity: masks[0]}, func(l *glibc.Lib) {
 		var handlers []*glibc.Pthread
@@ -330,6 +355,9 @@ func Run(cfg Config) Result {
 					meter.Completed(req.id, now)
 					admit.Done()
 					src.Completed(req.id)
+					if reg != nil && completed == cfg.Requests {
+						reg.Stop(now)
+					}
 				}))
 		}
 		for _, h := range handlers {
@@ -361,6 +389,10 @@ func Run(cfg Config) Result {
 		Preemptions:     k.Stats.Preemptions,
 		ContextSwitches: k.Stats.ContextSwitches,
 		Migrations:      k.Stats.Migrations,
+		Events:          int64(sys.Eng.Processed()),
+	}
+	if reg != nil {
+		res.Samples = reg.Samples()
 	}
 	if len(traces) > 0 {
 		last := sim.Time(0)

@@ -23,6 +23,11 @@ type ServiceConfig struct {
 	Models []Model
 	// GatewayPlanning is the per-request gateway compute (default 50 ms).
 	GatewayPlanning sim.Duration
+	// Started, when non-nil, is invoked with the request id at the
+	// simulated instant the gateway handler begins serving it — before
+	// any planning or fan-out — so span records can separate node-side
+	// queueing from service time. Nil (the default) costs nothing.
+	Started func(id int)
 }
 
 // Service is a running microservice stack on one simulated machine: the
@@ -103,6 +108,9 @@ func NewService(sys *stack.System, cfg ServiceConfig, done func(id int)) (*Servi
 			}
 			handlers = append(handlers, l.PthreadCreate(
 				name, func() {
+					if cfg.Started != nil {
+						cfg.Started(req.id)
+					}
 					gatewayHandle(l, req, serverIn, sim.Duration(float64(cfg.GatewayPlanning)*cfg.Scale))
 					s.done(req.id)
 				}))

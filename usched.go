@@ -41,6 +41,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/load"
 	"repro/internal/nosv"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/usf"
@@ -331,6 +332,28 @@ type (
 	// ClusterResult holds the fleet sweep grid and its SLO knees.
 	ClusterResult = experiments.ClusterResult
 )
+
+// Telemetry layer (internal/obs): deterministic simulated-time
+// observability — metric samples scraped by engine timers and
+// per-request hop spans — with the same byte-identity contract as the
+// stats: identical for any worker or shard count. Enable via
+// ClusterOptions.MetricsInterval / ClusterOptions.Spans and read back
+// with Cluster.Samples / Cluster.Spans.
+type (
+	// MetricSample is one scraped telemetry row, keyed by (series, node,
+	// simulated time).
+	MetricSample = obs.Sample
+	// RequestSpan is one request's hop timeline through the cluster
+	// path (submit → arrive → start → done → reply).
+	RequestSpan = obs.Span
+	// TailBreakdown attributes tail latency to network, queueing, and
+	// service shares ("where does p99 live").
+	TailBreakdown = obs.TailBreakdown
+)
+
+// BreakSpanTail decomposes the spans at or beyond the q-th total-latency
+// quantile into mean network/queue/service shares.
+func BreakSpanTail(spans []RequestSpan, q float64) TailBreakdown { return obs.BreakTail(spans, q) }
 
 // NewCluster builds an empty fleet on eng; add nodes, then Serve.
 func NewCluster(eng *sim.Engine, opts ClusterOptions, r ClusterRouting) *Cluster {
