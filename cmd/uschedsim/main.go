@@ -11,6 +11,7 @@
 //	uschedsim schedcmp [-quick]       # kernel-scheduler ablation (classes × oversubscription)
 //	uschedsim tailload [-quick]       # tail latency under load (arrival shapes × schemes, SLO knee)
 //	uschedsim cluster [-quick]        # multi-node fleet (routers × schemes × shapes × load)
+//	uschedsim chaos [-quick]          # fault injection (node kill & brownout × retry policies × routers)
 //	uschedsim all -quick              # everything, small instances
 //
 // Flags may appear before or after the subcommand:

@@ -122,6 +122,27 @@ func TestSchedCmpSubcommand(t *testing.T) {
 	}
 }
 
+func TestChaosSubcommand(t *testing.T) {
+	code, out, errOut := runCLI(t, "chaos", "-quick", "-par", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"fault: kill", "fault: brownout", "goodput", "ttr_s", "never",
+		"rr/unlimited", "rr/budgeted", "p2c/hedged",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+	// Determinism across pool widths and shard counts: a retry storm
+	// renders the same tables on any host configuration.
+	code, out2, _ := runCLI(t, "-par", "5", "chaos", "-quick", "-shards", "2")
+	if code != 0 || out != out2 {
+		t.Fatalf("chaos tables differ between -par 2 and -par 5 -shards 2 (exit %d)", code)
+	}
+}
+
 func TestTailLoadSubcommand(t *testing.T) {
 	code, out, errOut := runCLI(t, "tailload", "-quick", "-par", "2")
 	if code != 0 {
@@ -382,7 +403,7 @@ func TestMetricsAndSpansExport(t *testing.T) {
 		t.Fatal(err)
 	}
 	sLines := strings.Split(strings.TrimSpace(string(s)), "\n")
-	if sLines[0] != "scenario,cell,id,node,submit_ns,arrive_ns,start_ns,done_ns,reply_ns,network_ns,queue_ns,service_ns" || len(sLines) < 2 {
+	if sLines[0] != "scenario,cell,id,node,submit_ns,arrive_ns,start_ns,done_ns,reply_ns,network_ns,queue_ns,service_ns,outcome,attempts" || len(sLines) < 2 {
 		t.Fatalf("spans csv header/rows:\n%s", sLines[0])
 	}
 	// JSON export round-trips.

@@ -83,9 +83,16 @@ type Node struct {
 	// reg scrapes the node-homed telemetry (node meter, kernel) on the
 	// node's own engine; nil when metrics are off.
 	reg *obs.Registry
-	// inflight tracks requests between arrival at the node and
-	// completion, keyed by request id.
+	// inflight tracks attempts between arrival at the node and
+	// completion, keyed by attempt id.
 	inflight map[int]*flight
+	// dead marks the node crashed (fault layer); node-engine-owned.
+	// Arrivals at a dead node bounce straight back as failures.
+	dead bool
+	// orphans counts backend completions for unknown attempt ids
+	// (cancelled or crashed work finishing on backends that cannot
+	// abort); node-engine-owned, summed at Stats time.
+	orphans int
 }
 
 // Outstanding returns the node's dispatched-but-unreplied request count
@@ -124,13 +131,49 @@ type Config struct {
 	// Spans after the run. Off by default; disabled span stamping is a
 	// nil check.
 	Spans bool
+	// Retry is the client edge's resilience policy: per-attempt
+	// deadlines, capped-backoff retries under an optional token-bucket
+	// budget, and optional hedging. The zero value disables all of it.
+	Retry load.RetryPolicy
+	// Faults, when non-nil, is the deterministic fault schedule
+	// installed at Serve (see FaultPlan).
+	Faults *FaultPlan
+	// Health enables passive outlier ejection at the client edge. The
+	// zero value disables it.
+	Health HealthConfig
 }
 
-// flight is one request's routing state, reused across its network hops.
+// flight is one attempt's routing state, reused across its network
+// hops. Without resilience a request is exactly one attempt and
+// aid == rid. Field ownership is disciplined for sharded runs: rid,
+// aid, node, hedge, and c are immutable after dispatch; closed and
+// timeoutEv are touched only on the client engine; arrive, start, and
+// done only on the node engine until the reply (or failure) message
+// hands the flight back to the client, which is a causal transfer.
 type flight struct {
-	c    *Cluster
-	id   int
+	c *Cluster
+	// rid is the request id (client meter, spans, sources).
+	rid int
+	// aid is the attempt id (node in-flight map and node meter key).
+	aid  int
 	node int
+	// hedge marks the attempt as the hedged second copy.
+	hedge bool
+	// closed marks the attempt resolved at the client edge (reply seen,
+	// failed, timed out, or cancelled); set exactly once.
+	closed bool
+	// returned marks that the node handed the flight back to the client
+	// in a reply or failure message — only then are the node-side hop
+	// stamps below causally transferred and safe to read at the client.
+	// A timed-out attempt is never returned: its stamps may still be
+	// being written on the node engine at the timeout instant, so span
+	// stamping must skip them to stay deterministic under sharding.
+	returned bool
+	// timeoutEv is the pending per-attempt deadline timer.
+	timeoutEv sim.Event
+	// arrive, start, and done buffer the node-side hop instants; the
+	// winning attempt's values are copied into the request's span.
+	arrive, start, done sim.Time
 }
 
 // Cluster is a fleet of nodes behind a router on one shared engine, or
@@ -156,6 +199,30 @@ type Cluster struct {
 	completed int
 	doneAt    sim.Time // instant the final reply arrived
 	served    bool
+	// finished marks the teardown done (all requests resolved).
+	finished bool
+
+	// look is the one-hop network lookahead — min(request, reply
+	// latency) — used for liveness notifications in both sharded and
+	// unsharded mode, so their instants agree.
+	look sim.Duration
+
+	// Resilience state; all nil/zero when Config enables none of it.
+	// rs is per-request state (indexed by rid), hstate the client
+	// edge's per-node liveness view. Client-engine-owned.
+	rs         []rstate
+	hstate     []healthState
+	res        Resilience
+	nextAid    int
+	failedReqs int
+	// healthEpoch advances on every liveness change; liveNodes counts
+	// currently routable nodes.
+	healthEpoch uint64
+	liveNodes   int
+	// ejectedCount tracks concurrently ejected nodes against the
+	// HealthConfig.MaxEjected storm guard.
+	ejectedCount int
+	retryRand    *sim.Rand
 
 	// clientReg scrapes client-edge telemetry (end-to-end meter,
 	// per-node outstanding/picks); nil when metrics are off.
@@ -170,11 +237,19 @@ type Cluster struct {
 
 // New builds an empty cluster on eng. Add nodes, then call Serve.
 func New(eng *sim.Engine, cfg Config, r Router) *Cluster {
+	look := cfg.Net.RequestLatency
+	if cfg.Net.ReplyLatency < look {
+		look = cfg.Net.ReplyLatency
+	}
+	if look < 0 {
+		look = 0
+	}
 	return &Cluster{
 		Eng:    eng,
 		cfg:    cfg,
 		router: r,
 		meter:  load.NewMeter(cfg.SLO),
+		look:   look,
 	}
 }
 
@@ -254,7 +329,7 @@ func (c *Cluster) Elapsed() sim.Duration {
 	if c.group == nil {
 		return sim.Duration(c.Eng.Now())
 	}
-	if c.served && c.completed == c.total {
+	if c.served && c.finished {
 		return sim.Duration(c.doneAt)
 	}
 	return sim.Duration(c.group.Now())
@@ -313,7 +388,17 @@ func (c *Cluster) StartedFunc(ni int) func(id int) {
 		return nil
 	}
 	n := c.nodes[ni]
-	return func(id int) { c.spans[id].Start = n.eng.Now() }
+	return func(id int) {
+		f := n.inflight[id]
+		if f == nil {
+			return
+		}
+		if c.rs != nil {
+			f.start = n.eng.Now()
+		} else {
+			c.spans[f.rid].Start = n.eng.Now()
+		}
+	}
 }
 
 // session maps a request id to its session key.
@@ -342,6 +427,17 @@ func (c *Cluster) Serve(src load.Source, n int) {
 		for i := range c.spans {
 			c.spans[i].ID = i
 		}
+	}
+	if c.cfg.resilient() {
+		c.rs = make([]rstate, n)
+		c.hstate = make([]healthState, len(c.nodes))
+		for i := range c.hstate {
+			c.hstate[i] = healthState{c: c, ni: i}
+		}
+		c.liveNodes = len(c.nodes)
+	}
+	if c.cfg.Faults != nil {
+		c.cfg.Faults.install(c)
 	}
 	if c.cfg.MetricsInterval > 0 {
 		c.startObs()
@@ -410,6 +506,18 @@ func (c *Cluster) stopObs(now sim.Time) {
 func (c *Cluster) submit(id int) {
 	now := c.Eng.Now()
 	c.meter.Submitted(id, now)
+	if c.rs != nil {
+		// Resilient path: every original request feeds the retry
+		// budget, and dispatch owns routing, deadlines, and hedging.
+		if c.cfg.Retry.Budget != nil {
+			c.cfg.Retry.Budget.Deposit()
+		}
+		if c.spans != nil {
+			c.spans[id].Submit = now
+		}
+		c.dispatch(id, false)
+		return
+	}
 	ni := c.router.Pick(Request{ID: id, Session: c.session(id)})
 	if ni < 0 || ni >= len(c.nodes) {
 		panic(fmt.Sprintf("cluster: router %s picked node %d of %d", c.router.Name(), ni, len(c.nodes)))
@@ -422,7 +530,7 @@ func (c *Cluster) submit(id int) {
 		sp.Node = n.Name
 		sp.Submit = now
 	}
-	f := &flight{c: c, id: id, node: ni}
+	f := &flight{c: c, rid: id, aid: id, node: ni}
 	d := n.reqLink.delay(now, c.cfg.Net.RequestLatency, c.cfg.Net.RequestBytes, c.cfg.Net.LinkBandwidth)
 	if n.eng == c.Eng {
 		c.Eng.AfterFunc(d, deliverFlight, f)
@@ -433,32 +541,54 @@ func (c *Cluster) submit(id int) {
 	}
 }
 
-// deliverFlight is the request's arrival at its node. Runs on the
-// node's engine.
+// deliverFlight is the attempt's arrival at its node. Runs on the
+// node's engine. Arrivals at a crashed node bounce straight back as
+// failure replies.
 func deliverFlight(arg any) {
 	f := arg.(*flight)
-	n := f.c.nodes[f.node]
-	n.inflight[f.id] = f
-	n.meter.Submitted(f.id, n.eng.Now())
-	if f.c.spans != nil {
-		f.c.spans[f.id].Arrive = n.eng.Now()
+	c := f.c
+	n := c.nodes[f.node]
+	now := n.eng.Now()
+	if n.dead {
+		c.sendFail(n, f, now)
+		return
 	}
-	n.backend.Submit(f.id)
+	n.inflight[f.aid] = f
+	n.meter.Submitted(f.aid, now)
+	if c.spans != nil {
+		if c.rs != nil {
+			f.arrive = now
+		} else {
+			c.spans[f.rid].Arrive = now
+		}
+	}
+	n.backend.Submit(f.aid)
 }
 
 // nodeDone is the backend completion callback: meter the node-internal
 // latency and send the reply back across the link. Runs on the node's
-// engine.
+// engine. With the fault layer active an unknown attempt id is counted
+// and discarded — it is cancelled or crashed-away work finishing on a
+// backend that cannot abort — instead of the hard panic the plain path
+// keeps for catching real bookkeeping bugs.
 func (c *Cluster) nodeDone(ni, id int) {
 	n := c.nodes[ni]
 	now := n.eng.Now()
-	n.meter.Completed(id, now)
-	if c.spans != nil {
-		c.spans[id].Done = now
-	}
 	f := n.inflight[id]
 	if f == nil || f.node != ni {
+		if c.rs != nil {
+			n.orphans++
+			return
+		}
 		panic(fmt.Sprintf("cluster: node %d completed unknown request %d", ni, id))
+	}
+	n.meter.Completed(id, now)
+	if c.spans != nil {
+		if c.rs != nil {
+			f.done = now
+		} else {
+			c.spans[f.rid].Done = now
+		}
 	}
 	delete(n.inflight, id)
 	d := n.repLink.delay(now, c.cfg.Net.ReplyLatency, c.cfg.Net.ReplyBytes, c.cfg.Net.LinkBandwidth)
@@ -478,24 +608,37 @@ func replyFlight(arg any) {
 	f := arg.(*flight)
 	c := f.c
 	now := c.Eng.Now()
-	c.meter.Completed(f.id, now)
+	if c.rs != nil {
+		c.replyResilient(f, now)
+		return
+	}
+	c.meter.Completed(f.rid, now)
 	c.nodes[f.node].outstanding--
 	c.completed++
 	if c.spans != nil {
-		c.spans[f.id].Reply = now
+		c.spans[f.rid].Reply = now
 	}
-	c.src.Completed(f.id)
-	if c.completed == c.total {
-		c.doneAt = now
-		for _, n := range c.nodes {
-			if n.eng == c.Eng {
-				n.backend.Stop()
-			} else {
-				c.client.Send(n.shard, now.Add(c.group.Lookahead()), stopNode, n)
-			}
+	c.src.Completed(f.rid)
+	c.maybeFinish(now)
+}
+
+// maybeFinish tears the fleet down once every request has resolved —
+// completed end to end or permanently failed: backends stop (remote
+// ones a lookahead later) and scraping ends at the resolution instant.
+func (c *Cluster) maybeFinish(now sim.Time) {
+	if c.finished || c.completed+c.failedReqs != c.total {
+		return
+	}
+	c.finished = true
+	c.doneAt = now
+	for _, n := range c.nodes {
+		if n.eng == c.Eng {
+			n.backend.Stop()
+		} else {
+			c.client.Send(n.shard, now.Add(c.group.Lookahead()), stopNode, n)
 		}
-		c.stopObs(now)
 	}
+	c.stopObs(now)
 }
 
 // stopNode drains one remote node's backend, in its own shard context.
@@ -519,18 +662,58 @@ func (c *Cluster) Run(horizon sim.Duration) (timedOut bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	if hit && (c.completed < c.total || c.live() > 0) {
+	if hit && (c.completed+c.failedReqs < c.total || c.live() > 0) {
 		c.killAll()
+		if c.served && !c.finished {
+			c.abandon(horizon)
+		}
 		return true, nil
 	}
-	if c.served && c.completed < c.total {
+	if c.served && c.completed+c.failedReqs < c.total {
 		// The engines ran dry before the horizon with requests missing:
 		// a backend lost a request (done not called) — surface it
 		// rather than letting partial stats pass as a clean run.
-		return false, fmt.Errorf("cluster: engine ran dry with %d of %d requests completed",
-			c.completed, c.total)
+		return false, fmt.Errorf("cluster: engine ran dry with %d of %d requests completed (%d failed)",
+			c.completed, c.total, c.failedReqs)
 	}
 	return false, nil
+}
+
+// abandon cleans up a horizon-abandoned run so its telemetry ends in a
+// well-defined state: scraping stops at the horizon instant (the same
+// shard-invariant cutoff for any shard count), metered in-flight work
+// is recorded as failed, and unresolved spans are stamped with the
+// abandoned outcome instead of being left as zero rows. Runs from host
+// context after KillAll: every engine is quiescent.
+func (c *Cluster) abandon(horizon sim.Duration) {
+	cutoff := sim.Time(0).Add(horizon)
+	if c.clientReg != nil {
+		c.clientReg.Stop(cutoff)
+		for _, n := range c.nodes {
+			n.reg.Stop(cutoff)
+		}
+	}
+	c.meter.FailAll(cutoff)
+	for _, n := range c.nodes {
+		n.meter.FailAll(cutoff)
+	}
+	if c.spans != nil {
+		for i := range c.spans {
+			sp := &c.spans[i]
+			if sp.Reply > 0 || sp.Outcome != "" {
+				continue
+			}
+			sp.Outcome = obs.OutcomeAbandoned
+			if c.rs != nil {
+				rs := &c.rs[i]
+				sp.Attempts = rs.attempts
+				if f := rs.primary; f != nil {
+					sp.Node = c.nodes[f.node].Name
+					sp.Arrive, sp.Start, sp.Done = f.arrive, f.start, f.done
+				}
+			}
+		}
+	}
 }
 
 // live counts live procs across the fleet's engines.
@@ -610,6 +793,9 @@ type Stats struct {
 	// EndToEnd covers submission to reply arrival: network + queueing +
 	// service.
 	EndToEnd load.MeterStats
+	// Resilience counts the run's fault-handling activity (all zero
+	// when no retry policy, fault plan, or health config was set).
+	Resilience Resilience
 	// Nodes holds per-node views in registration order.
 	Nodes []NodeStats
 	// NodeP50/P95/P99/P999 are the cluster-aggregated node-internal
@@ -624,7 +810,7 @@ type Stats struct {
 
 // Stats snapshots the cluster's meters.
 func (c *Cluster) Stats() Stats {
-	st := Stats{EndToEnd: c.meter.Stats()}
+	st := Stats{EndToEnd: c.meter.Stats(), Resilience: c.Resilience()}
 	var agg metrics.Sketch
 	minD, maxD := -1, 0
 	for _, n := range c.nodes {

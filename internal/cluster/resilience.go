@@ -1,0 +1,474 @@
+package cluster
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Client-edge resilience: per-attempt deadlines, retries under a
+// token-bucket budget, hedged requests, and passive outlier ejection.
+// All state here is homed on the client engine and mutated only in its
+// event context, so a resilient run is as deterministic as a plain one.
+// When Config enables none of it (no retry policy, no fault plan, no
+// health config), none of this state exists and the cluster follows its
+// original code paths exactly.
+
+// ErrNoLiveNodes is returned (and recorded as a request outcome) when
+// every node is crashed or ejected: routing fails fast instead of
+// queueing on a dead fleet.
+var ErrNoLiveNodes = errors.New("cluster: no live nodes")
+
+// HealthConfig enables passive outlier ejection at the client edge:
+// after EjectAfter consecutive failed or timed-out attempts a node is
+// ejected from routing for Cooldown, then re-admitted on probation —
+// one more failure re-ejects it immediately, one success clears it.
+// The zero value disables ejection.
+type HealthConfig struct {
+	// EjectAfter is the consecutive-failure threshold (0 disables).
+	EjectAfter int
+	// Cooldown is how long an ejected node stays out of routing.
+	Cooldown sim.Duration
+	// MaxEjected caps how many nodes may be ejected at once, so a
+	// global overload — where every node fails attempts — cannot eject
+	// the whole fleet out of routing (an ejection storm). Non-positive
+	// means max(1, 10% of the fleet).
+	MaxEjected int
+}
+
+// Resilience counts the client edge's fault-handling activity over a
+// run. All counters are mutated on the client engine only.
+type Resilience struct {
+	// Retries counts re-dispatched attempts beyond each request's first.
+	Retries int
+	// Hedges counts hedge attempts issued; HedgeWins counts requests
+	// whose winning reply came from the hedge.
+	Hedges, HedgeWins int
+	// Shed counts requests failed because the retry budget was empty
+	// (the retry was dropped, not sent).
+	Shed int
+	// Timeouts counts attempts abandoned at their deadline.
+	Timeouts int
+	// Failed counts requests that permanently failed (all policy
+	// avenues exhausted, crash with no retry, shed, or no live node).
+	Failed int
+	// NoLiveNode counts dispatch moments that found every node crashed
+	// or ejected.
+	NoLiveNode int
+	// Ejections and Readmits count outlier-ejection transitions.
+	Ejections, Readmits int
+	// LateReplies counts replies that arrived for already-resolved
+	// attempts (timed-out or hedge-loser work that finished anyway).
+	LateReplies int
+	// Cancelled counts attempts cancelled after their request resolved
+	// elsewhere (hedge losers).
+	Cancelled int
+	// OrphanDone counts backend completions for unknown attempt ids —
+	// cancelled or crashed work finishing on backends that cannot
+	// abort.
+	OrphanDone int
+}
+
+// rstate is one request's resilience state, preallocated per request
+// when resilience is on. Client-engine-owned.
+type rstate struct {
+	// attempts counts dispatches so far; open counts attempts currently
+	// in flight (≤ 2: primary + hedge).
+	attempts, open int
+	// done marks the request resolved (completed or failed).
+	done bool
+	// hedgeEv is the pending hedge timer for the first attempt.
+	hedgeEv sim.Event
+	// primary and hedge point at the currently open attempts (at most
+	// one of each), so a winner can cancel its sibling.
+	primary, hedge *flight
+	// last is the most recent failed attempt, for span stamping when
+	// the request ultimately fails.
+	last *flight
+}
+
+// healthState is the client edge's liveness view of one node.
+type healthState struct {
+	c  *Cluster
+	ni int
+	// down is set by crash notifications (eager removal).
+	down bool
+	// ejected, consec, and probation implement passive outlier
+	// ejection.
+	ejected   bool
+	consec    int
+	probation bool
+}
+
+// resilient reports whether any resilience machinery is configured.
+func (cfg Config) resilient() bool {
+	return cfg.Retry.Enabled() || cfg.Faults != nil || cfg.Health.EjectAfter > 0
+}
+
+// available reports whether node ni is routable from the client edge's
+// current view. Always true when resilience is off.
+func (c *Cluster) available(ni int) bool {
+	if c.hstate == nil {
+		return true
+	}
+	h := &c.hstate[ni]
+	return !h.down && !h.ejected
+}
+
+// allAvailable reports whether every node is routable — the fast path
+// on which routers reproduce their original decisions byte for byte.
+func (c *Cluster) allAvailable() bool {
+	return c.hstate == nil || c.liveNodes == len(c.nodes)
+}
+
+// bumpEpoch advances the liveness epoch (ConsistentHash rebuilds its
+// ring lazily when it observes a new epoch) and recounts live nodes.
+func (c *Cluster) bumpEpoch() {
+	c.healthEpoch++
+	c.liveNodes = 0
+	for i := range c.hstate {
+		if c.available(i) {
+			c.liveNodes++
+		}
+	}
+}
+
+// PickNode routes one request through the router's health-aware view.
+// It fails fast with ErrNoLiveNodes when every node is crashed or
+// ejected. Exposed for tests and custom drivers; the serving path
+// reports the same condition per request via Resilience.NoLiveNode.
+func (c *Cluster) PickNode(req Request) (int, error) {
+	ni := c.router.Pick(req)
+	if ni < 0 {
+		return -1, ErrNoLiveNodes
+	}
+	return ni, nil
+}
+
+// recordFailure feeds the ejection state machine one failed or
+// timed-out attempt on node ni. Client engine only.
+func (c *Cluster) recordFailure(ni int) {
+	if c.cfg.Health.EjectAfter <= 0 || c.hstate == nil {
+		return
+	}
+	h := &c.hstate[ni]
+	h.consec++
+	if h.ejected || h.down {
+		return
+	}
+	if h.consec >= c.cfg.Health.EjectAfter || h.probation {
+		if c.ejectedCount >= c.maxEjected() || c.liveNodes <= 1 {
+			// Ejection-storm guard: keep the node routable rather than
+			// take the last of the fleet out of rotation.
+			return
+		}
+		h.ejected = true
+		h.probation = false
+		c.ejectedCount++
+		c.res.Ejections++
+		c.bumpEpoch()
+		c.Eng.AfterFunc(c.cfg.Health.Cooldown, readmitNode, h)
+	}
+}
+
+// maxEjected resolves the concurrent-ejection cap.
+func (c *Cluster) maxEjected() int {
+	if m := c.cfg.Health.MaxEjected; m > 0 {
+		return m
+	}
+	if m := len(c.nodes) / 10; m > 1 {
+		return m
+	}
+	return 1
+}
+
+// recordSuccess clears node ni's failure history. Client engine only.
+func (c *Cluster) recordSuccess(ni int) {
+	if c.hstate == nil {
+		return
+	}
+	h := &c.hstate[ni]
+	h.consec = 0
+	h.probation = false
+}
+
+// readmitNode ends one node's ejection cooldown: it rejoins routing on
+// probation.
+func readmitNode(arg any) {
+	h := arg.(*healthState)
+	if !h.ejected {
+		return
+	}
+	h.ejected = false
+	h.probation = true
+	h.consec = 0
+	h.c.ejectedCount--
+	h.c.res.Readmits++
+	h.c.bumpEpoch()
+}
+
+// dispatch issues one attempt of request rid: pick a node, arm the
+// deadline and (for a first attempt) the hedge timer, and send the
+// request across the link. Client engine only.
+func (c *Cluster) dispatch(rid int, hedge bool) {
+	now := c.Eng.Now()
+	rs := &c.rs[rid]
+	ni := c.router.Pick(Request{ID: rid, Session: c.session(rid)})
+	if ni < 0 {
+		c.res.NoLiveNode++
+		if hedge {
+			// No node to hedge onto; the primary attempt stands alone.
+			return
+		}
+		c.failRequest(rid, now, obs.OutcomeNoNode)
+		return
+	}
+	n := c.nodes[ni]
+	n.dispatched++
+	n.outstanding++
+	rs.attempts++
+	rs.open++
+	f := &flight{c: c, rid: rid, aid: c.nextAid, node: ni, hedge: hedge}
+	c.nextAid++
+	if hedge {
+		rs.hedge = f
+	} else {
+		rs.primary = f
+	}
+	if c.cfg.Retry.Timeout > 0 {
+		f.timeoutEv = c.Eng.AfterFunc(c.cfg.Retry.Timeout, flightTimeout, f)
+	}
+	if !hedge && rs.attempts == 1 && c.cfg.Retry.HedgeDelay > 0 {
+		rs.hedgeEv = c.Eng.AfterFunc(c.cfg.Retry.HedgeDelay, fireHedge, f)
+	}
+	d := n.reqLink.delay(now, c.cfg.Net.RequestLatency, c.cfg.Net.RequestBytes, c.cfg.Net.LinkBandwidth)
+	if n.eng == c.Eng {
+		c.Eng.AfterFunc(d, deliverFlight, f)
+	} else {
+		c.client.Send(n.shard, now.Add(d), deliverFlight, f)
+	}
+}
+
+// closeAttempt resolves one attempt at the client edge exactly once:
+// deadline disarmed, outstanding released. Reports false if the attempt
+// was already closed.
+func (c *Cluster) closeAttempt(f *flight) bool {
+	if f.closed {
+		return false
+	}
+	f.closed = true
+	f.timeoutEv.Cancel()
+	c.nodes[f.node].outstanding--
+	rs := &c.rs[f.rid]
+	rs.open--
+	if rs.primary == f {
+		rs.primary = nil
+	} else if rs.hedge == f {
+		rs.hedge = nil
+	}
+	return true
+}
+
+// fireHedge issues the hedge attempt if the primary is still pending.
+func fireHedge(arg any) {
+	f := arg.(*flight) // the primary attempt
+	c := f.c
+	if f.closed || c.rs[f.rid].done {
+		return
+	}
+	c.res.Hedges++
+	c.dispatch(f.rid, true)
+}
+
+// flightTimeout abandons an attempt at its deadline: the node is asked
+// to cancel the work (best effort), the failure feeds ejection, and the
+// request decides between retry and failure.
+func flightTimeout(arg any) {
+	f := arg.(*flight)
+	c := f.c
+	if !c.closeAttempt(f) {
+		return
+	}
+	now := c.Eng.Now()
+	c.res.Timeouts++
+	c.recordFailure(f.node)
+	c.cancelAtNodeLater(f, now)
+	c.attemptFailed(f, now, obs.OutcomeTimeout)
+}
+
+// failFlight is a failure reply (crash or node-side shed) arriving back
+// at the client edge. Runs on the client engine.
+func failFlight(arg any) {
+	f := arg.(*flight)
+	c := f.c
+	f.returned = true
+	if !c.closeAttempt(f) {
+		return // already timed out or cancelled locally
+	}
+	now := c.Eng.Now()
+	c.recordFailure(f.node)
+	c.attemptFailed(f, now, obs.OutcomeFailed)
+}
+
+// attemptFailed routes a failed attempt into the request's policy:
+// wait for a sibling attempt, retry under the budget, or fail the
+// request. Client engine only.
+func (c *Cluster) attemptFailed(f *flight, now sim.Time, outcome string) {
+	rs := &c.rs[f.rid]
+	if rs.done {
+		return
+	}
+	rs.last = f
+	if rs.open > 0 {
+		return // a sibling (hedge) attempt is still in flight
+	}
+	rs.hedgeEv.Cancel()
+	p := c.cfg.Retry
+	if !p.Enabled() || (p.MaxAttempts > 0 && rs.attempts >= p.MaxAttempts) {
+		c.failRequest(f.rid, now, outcome)
+		return
+	}
+	if p.Budget != nil && !p.Budget.Withdraw() {
+		c.res.Shed++
+		c.failRequest(f.rid, now, obs.OutcomeShed)
+		return
+	}
+	c.res.Retries++
+	delay := p.Backoff(rs.attempts, c.retryRNG())
+	c.Eng.AfterFunc(delay, redispatch, f)
+}
+
+// redispatch fires after a retry backoff.
+func redispatch(arg any) {
+	f := arg.(*flight)
+	if f.c.rs[f.rid].done {
+		return
+	}
+	f.c.dispatch(f.rid, false)
+}
+
+// retryRNG returns the labelled client-engine stream backoff jitter
+// draws from.
+func (c *Cluster) retryRNG() *sim.Rand {
+	if c.retryRand == nil {
+		c.retryRand = c.Eng.Rand("cluster/retry")
+	}
+	return c.retryRand
+}
+
+// cancelAttempt closes a still-open attempt whose request resolved
+// elsewhere (hedge loser) and asks its node to abandon the work.
+func (c *Cluster) cancelAttempt(f *flight, now sim.Time) {
+	if !c.closeAttempt(f) {
+		return
+	}
+	c.res.Cancelled++
+	c.cancelAtNodeLater(f, now)
+}
+
+// cancelAtNodeLater sends a best-effort cancellation to the attempt's
+// node, one request-latency away. Client engine only.
+func (c *Cluster) cancelAtNodeLater(f *flight, now sim.Time) {
+	n := c.nodes[f.node]
+	if n.eng == c.Eng {
+		c.Eng.AfterFunc(c.cfg.Net.RequestLatency, cancelAtNode, f)
+	} else {
+		c.client.Send(n.shard, now.Add(c.cfg.Net.RequestLatency), cancelAtNode, f)
+	}
+}
+
+// cancelAtNode abandons one attempt at its node, if the backend can.
+// Runs on the node's engine. Backends that cannot abort finish the work
+// and reply; the client edge discards the late reply.
+func cancelAtNode(arg any) {
+	f := arg.(*flight)
+	n := f.c.nodes[f.node]
+	if n.inflight[f.aid] != f {
+		return // already completed, crashed away, or bounced
+	}
+	if ab, ok := n.backend.(abortable); ok && ab.Abort(f.aid) {
+		delete(n.inflight, f.aid)
+		n.meter.Failed(f.aid, n.eng.Now())
+	}
+}
+
+// failRequest resolves request rid as permanently failed. Client engine
+// only.
+func (c *Cluster) failRequest(rid int, now sim.Time, outcome string) {
+	rs := &c.rs[rid]
+	if rs.done {
+		return
+	}
+	rs.done = true
+	rs.hedgeEv.Cancel()
+	c.res.Failed++
+	c.failedReqs++
+	c.meter.Failed(rid, now)
+	if c.spans != nil {
+		sp := &c.spans[rid]
+		sp.Outcome = outcome
+		sp.Attempts = rs.attempts
+		if f := rs.last; f != nil {
+			sp.Node = c.nodes[f.node].Name
+			// Node-side hop stamps are only causally transferred when the
+			// node sent the flight back (failure reply); a timed-out
+			// attempt's stamps may still be in flux on the node engine.
+			if f.returned {
+				sp.Arrive, sp.Start, sp.Done = f.arrive, f.start, f.done
+			}
+		}
+	}
+	c.src.Completed(rid)
+	c.maybeFinish(now)
+}
+
+// replyResilient is replyFlight's resilient counterpart: the first
+// reply wins the request, siblings are cancelled, late replies are
+// discarded. Client engine only.
+func (c *Cluster) replyResilient(f *flight, now sim.Time) {
+	if f.closed {
+		c.res.LateReplies++
+		return
+	}
+	c.closeAttempt(f)
+	c.recordSuccess(f.node)
+	rs := &c.rs[f.rid]
+	if rs.done {
+		return
+	}
+	rs.done = true
+	rs.hedgeEv.Cancel()
+	c.meter.Completed(f.rid, now)
+	c.completed++
+	if f.hedge {
+		c.res.HedgeWins++
+	}
+	if c.spans != nil {
+		sp := &c.spans[f.rid]
+		sp.Node = c.nodes[f.node].Name
+		sp.Arrive, sp.Start, sp.Done = f.arrive, f.start, f.done
+		sp.Reply = now
+		sp.Outcome = obs.OutcomeOK
+		sp.Attempts = rs.attempts
+	}
+	// Cancel any sibling attempt still in flight.
+	if g := rs.primary; g != nil {
+		c.cancelAttempt(g, now)
+	}
+	if g := rs.hedge; g != nil {
+		c.cancelAttempt(g, now)
+	}
+	c.src.Completed(f.rid)
+	c.maybeFinish(now)
+}
+
+// Resilience returns the run's fault-handling counters. Orphaned
+// backend completions are summed across nodes; call after Run returns.
+func (c *Cluster) Resilience() Resilience {
+	r := c.res
+	for _, n := range c.nodes {
+		r.OrphanDone += n.orphans
+	}
+	return r
+}

@@ -19,19 +19,29 @@ type Request struct {
 // RNG stream) before the first Pick. Pick runs at the arrival instant,
 // in event context, and must be deterministic given the bound RNG
 // stream and the cluster's observable state.
+//
+// Routers consult the cluster's health view: nodes the client edge
+// knows to be crashed (eager removal on crash notification) or has
+// ejected (passive outlier ejection) are skipped. Pick returns -1 when
+// no node is routable — which the serving path converts into a fast
+// per-request failure (ErrNoLiveNodes). While every node is routable,
+// each policy reproduces its original decisions byte for byte.
 type Router interface {
 	// Name labels the policy in cell names and tables.
 	Name() string
 	// Bind attaches the router to its cluster. rng is an independent
 	// engine stream reserved for routing decisions.
 	Bind(c *Cluster, rng *sim.Rand)
-	// Pick returns the index of the node that serves req.
+	// Pick returns the index of the node that serves req, or -1 when
+	// every node is crashed or ejected.
 	Pick(req Request) int
 }
 
 // RoundRobin dispatches requests to nodes in rotation, ignoring load —
-// the classic stateless baseline.
+// the classic stateless baseline. Dead or ejected nodes are skipped in
+// rotation order.
 type RoundRobin struct {
+	c       *Cluster
 	n, next int
 }
 
@@ -42,28 +52,36 @@ func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 func (r *RoundRobin) Name() string { return "round-robin" }
 
 // Bind implements Router.
-func (r *RoundRobin) Bind(c *Cluster, _ *sim.Rand) { r.n = len(c.nodes) }
+func (r *RoundRobin) Bind(c *Cluster, _ *sim.Rand) { r.c, r.n = c, len(c.nodes) }
 
 // Pick implements Router.
 func (r *RoundRobin) Pick(Request) int {
-	i := r.next
-	r.next = (r.next + 1) % r.n
-	return i
+	for tries := 0; tries < r.n; tries++ {
+		i := r.next
+		r.next = (r.next + 1) % r.n
+		if r.c.available(i) {
+			return i
+		}
+	}
+	return -1
 }
 
 // LeastOutstanding routes each request to the less-loaded of Choices
 // randomly sampled nodes (power-of-two-choices by default), measured by
 // outstanding (dispatched but unreplied) requests. Sampling draws from
 // the cluster's router RNG stream, so decisions are reproducible.
-// Choices >= the node count degenerates to exact least-outstanding over
-// all nodes.
+// Choices >= the routable node count degenerates to exact
+// least-outstanding over those nodes. Only live nodes are sampled; on a
+// fully live fleet the draw sequence is identical to the health-unaware
+// original.
 type LeastOutstanding struct {
 	// Choices is the sample size (default 2).
 	Choices int
 
 	c      *Cluster
 	rng    *sim.Rand
-	sample []int // distinct node indices drawn this pick (reused)
+	sample []int // distinct candidate positions drawn this pick (reused)
+	avail  []int // live node indices (reused when the fleet is degraded)
 }
 
 // NewLeastOutstanding returns a power-of-two-choices router.
@@ -82,25 +100,45 @@ func (r *LeastOutstanding) Bind(c *Cluster, rng *sim.Rand) {
 
 // Pick implements Router.
 func (r *LeastOutstanding) Pick(Request) int {
-	n := len(r.c.nodes)
-	if r.Choices >= n {
-		// Exact scan; ties break toward the lower index.
+	if r.c.allAvailable() {
+		// Fully live fleet: identity function over node indices keeps
+		// this the byte-identical original draw sequence.
+		return r.pickAmong(len(r.c.nodes), func(i int) int { return i })
+	}
+	r.avail = r.avail[:0]
+	for i := range r.c.nodes {
+		if r.c.available(i) {
+			r.avail = append(r.avail, i)
+		}
+	}
+	if len(r.avail) == 0 {
+		return -1
+	}
+	return r.pickAmong(len(r.avail), func(i int) int { return r.avail[i] })
+}
+
+// pickAmong runs the sampled (or exact) least-outstanding choice over m
+// candidates, where node(i) maps candidate position to node index.
+func (r *LeastOutstanding) pickAmong(m int, node func(int) int) int {
+	if r.Choices >= m {
+		// Exact scan; ties break toward the lower position.
 		best := 0
-		for i := 1; i < n; i++ {
-			if r.c.nodes[i].outstanding < r.c.nodes[best].outstanding {
+		for i := 1; i < m; i++ {
+			if r.c.nodes[node(i)].outstanding < r.c.nodes[node(best)].outstanding {
 				best = i
 			}
 		}
-		return best
+		return node(best)
 	}
-	// Draw Choices distinct nodes: the s-th draw samples [0, n-s) and
-	// is shifted past the already-drawn indices, so exactly Choices RNG
-	// draws happen per pick (stream alignment is queue-independent) and
-	// the sample really covers Choices distinct candidates.
+	// Draw Choices distinct positions: the s-th draw samples [0, m-s)
+	// and is shifted past the already-drawn positions, so exactly
+	// Choices RNG draws happen per pick (stream alignment is
+	// queue-independent) and the sample really covers Choices distinct
+	// candidates.
 	r.sample = r.sample[:0]
 	best := -1
 	for s := 0; s < r.Choices; s++ {
-		i := r.rng.Intn(n - s)
+		i := r.rng.Intn(m - s)
 		for _, seen := range r.sample {
 			if i >= seen {
 				i++
@@ -118,23 +156,29 @@ func (r *LeastOutstanding) Pick(Request) int {
 		// Ties keep the earlier draw (canonical power-of-N-choices):
 		// the first draw is uniform, so idle-fleet traffic spreads
 		// instead of herding onto low-indexed nodes.
-		if r.c.nodes[i].outstanding < r.c.nodes[best].outstanding {
+		if r.c.nodes[node(i)].outstanding < r.c.nodes[node(best)].outstanding {
 			best = i
 		}
 	}
-	return best
+	return node(best)
 }
 
 // ConsistentHash pins each session to a node with a consistent-hash
 // ring (session affinity): the same session always lands on the same
 // node, and adding or removing a node only remaps the sessions on the
-// affected arc. Replicas virtual points per node smooth the split.
+// affected arc. Replicas virtual points per node smooth the split. The
+// ring is rebuilt — excluding crashed and ejected nodes — whenever the
+// cluster's liveness epoch advances; because each node's virtual points
+// depend only on its name, removing and re-adding a node restores the
+// exact original ring.
 type ConsistentHash struct {
 	// Replicas is the number of virtual ring points per node
 	// (default 64).
 	Replicas int
 
-	ring []ringPoint
+	c     *Cluster
+	ring  []ringPoint
+	epoch uint64
 }
 
 // ringPoint is one virtual node position on the hash ring.
@@ -160,13 +204,24 @@ func mix64(x uint64) uint64 {
 }
 
 // Bind implements Router: it builds the ring from the nodes' names, so
-// ring layout depends only on the cluster's composition.
+// ring layout depends only on the cluster's composition (and, as the
+// run proceeds, its live subset).
 func (r *ConsistentHash) Bind(c *Cluster, _ *sim.Rand) {
 	if r.Replicas <= 0 {
 		r.Replicas = 64
 	}
+	r.c = c
+	r.epoch = c.healthEpoch
+	r.rebuild()
+}
+
+// rebuild reconstructs the ring over the currently routable nodes.
+func (r *ConsistentHash) rebuild() {
 	r.ring = r.ring[:0]
-	for i, n := range c.nodes {
+	for i, n := range r.c.nodes {
+		if !r.c.available(i) {
+			continue
+		}
 		base := sim.Hash64(n.Name)
 		for v := 0; v < r.Replicas; v++ {
 			r.ring = append(r.ring, ringPoint{
@@ -185,6 +240,13 @@ func (r *ConsistentHash) Bind(c *Cluster, _ *sim.Rand) {
 
 // Pick implements Router.
 func (r *ConsistentHash) Pick(req Request) int {
+	if r.epoch != r.c.healthEpoch {
+		r.epoch = r.c.healthEpoch
+		r.rebuild()
+	}
+	if len(r.ring) == 0 {
+		return -1
+	}
 	h := mix64(req.Session)
 	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
 	if i == len(r.ring) {

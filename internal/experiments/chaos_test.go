@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestChaosQuickSweep(t *testing.T) {
+	cfg := QuickChaos()
+	res := RunChaos(cfg)
+	if len(res.Cells) != len(cfg.Faults) ||
+		len(res.Cells[0]) != len(cfg.Policies) ||
+		len(res.Cells[0][0]) != len(cfg.Routers) {
+		t.Fatal("grid shape wrong")
+	}
+	var pol = map[string]int{}
+	for pi, p := range cfg.Policies {
+		pol[p.Name] = pi
+	}
+	for fi, fault := range cfg.Faults {
+		for ri, router := range cfg.Routers {
+			for pi := range cfg.Policies {
+				c := res.Cell(fi, pi, ri)
+				if c.TimedOut {
+					t.Fatalf("%s/%s/%s hit the horizon", fault.Name, c.Policy, router.Name)
+				}
+				st := c.Stats.EndToEnd
+				if st.Completed+st.Failed != cfg.Requests {
+					t.Fatalf("%s/%s/%s resolves %d+%d of %d requests",
+						fault.Name, c.Policy, router.Name, st.Completed, st.Failed, cfg.Requests)
+				}
+			}
+			// The scenario's headline: unlimited retries after a fault
+			// collapse goodput below what a budgeted policy sustains, and
+			// on the kill leg the collapsed fleet never recovers while the
+			// budgeted one does.
+			unlimited := res.Cell(fi, pol["unlimited"], ri)
+			budgeted := res.Cell(fi, pol["budgeted"], ri)
+			gU := unlimited.Stats.EndToEnd.Goodput
+			gB := budgeted.Stats.EndToEnd.Goodput
+			if gU >= 0.75*gB {
+				t.Fatalf("%s/%s: unlimited goodput %.1f not collapsed vs budgeted %.1f",
+					fault.Name, router.Name, gU, gB)
+			}
+			if unlimited.Stats.Resilience.Retries <= 10*budgeted.Stats.Resilience.Retries {
+				t.Fatalf("%s/%s: no retry storm: %d vs %d retries", fault.Name, router.Name,
+					unlimited.Stats.Resilience.Retries, budgeted.Stats.Resilience.Retries)
+			}
+			if fault.Name == "kill" {
+				if unlimited.TTR >= 0 {
+					t.Fatalf("%s/%s: collapsed fleet reports recovery at %v",
+						fault.Name, router.Name, unlimited.TTR)
+				}
+				if budgeted.TTR < 0 {
+					t.Fatalf("%s/%s: budgeted fleet never recovers", fault.Name, router.Name)
+				}
+			}
+			// Hedging must actually hedge, and budgets must actually shed.
+			hedged := res.Cell(fi, pol["hedged"], ri)
+			if hedged.Stats.Resilience.Hedges == 0 {
+				t.Fatalf("%s/%s: hedged policy issued no hedges", fault.Name, router.Name)
+			}
+			if budgeted.Stats.Resilience.Shed == 0 {
+				t.Fatalf("%s/%s: budget never sheds", fault.Name, router.Name)
+			}
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"fault: kill", "fault: brownout", "goodput",
+		"ttr_s", "never", "rr/unlimited", "p2c/budgeted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChaosParallelAndShardsIdentical(t *testing.T) {
+	// The determinism acceptance at the scenario level: the chaos tables
+	// must be byte-identical for any worker parallelism and shard count,
+	// retry storms included.
+	cfg := QuickChaos()
+	ref := AssembleChaos(cfg, harness.Run(ChaosJobs(cfg), 1)).Render()
+	if got := AssembleChaos(cfg, harness.Run(ChaosJobs(cfg), 4)).Render(); got != ref {
+		t.Fatalf("chaos tables differ between par 1 and par 4:\n%s\n---\n%s", ref, got)
+	}
+	for _, shards := range []int{2, 3} {
+		c := cfg
+		c.Shards = shards
+		if got := AssembleChaos(c, harness.Run(ChaosJobs(c), 1)).Render(); got != ref {
+			t.Fatalf("chaos tables differ between 1 and %d shards:\n%s\n---\n%s", shards, ref, got)
+		}
+	}
+}

@@ -214,6 +214,24 @@ func traceCluster(cfg ClusterConfig) *trace.Buffer {
 	return buf
 }
 
+func chaosConfig(opt harness.Opts) ChaosConfig {
+	cfg := DefaultChaos()
+	if opt.Quick {
+		cfg = QuickChaos()
+	}
+	cfg.Seed = opt.ApplySeed(cfg.Seed)
+	if opt.Shards > 0 {
+		cfg.Shards = opt.Shards
+	}
+	if opt.Metrics {
+		// Scrape ticks must live on the chaos quantum grid (phase 0)
+		// like every other non-request instant; see chaosQuantum.
+		cfg.MetricsInterval = chaosAlign(metricsInterval(opt))
+	}
+	cfg.Spans = opt.SpanRecords
+	return cfg
+}
+
 func init() {
 	harness.Register(&harness.Scenario{
 		Name:  "matmul",
@@ -299,6 +317,16 @@ func init() {
 		},
 		Trace: func(opt harness.Opts) *trace.Buffer {
 			return traceCluster(clusterConfig(opt))
+		},
+	})
+	harness.Register(&harness.Scenario{
+		Name:  "chaos",
+		Title: "Fault injection: node kill & brownout × retry policies × routers",
+		Jobs: func(opt harness.Opts) []harness.Job {
+			return ChaosJobs(chaosConfig(opt))
+		},
+		Render: func(opt harness.Opts, results []harness.Result) string {
+			return AssembleChaos(chaosConfig(opt), results).Render()
 		},
 	})
 }

@@ -211,7 +211,8 @@ func telemetrySweep() *Sweep {
 	sc := testScenario("test-tel", 2)
 	span := obs.Span{ID: 0, Node: "a-node", Submit: 0,
 		Arrive: sim.Time(2 * sim.Millisecond), Start: sim.Time(2 * sim.Millisecond),
-		Done: sim.Time(12 * sim.Millisecond), Reply: sim.Time(15 * sim.Millisecond)}
+		Done: sim.Time(12 * sim.Millisecond), Reply: sim.Time(15 * sim.Millisecond),
+		Outcome: obs.OutcomeOK, Attempts: 2}
 	return &Sweep{Scenarios: []ScenarioResult{{
 		Scenario: sc,
 		Results: []Result{
@@ -263,10 +264,11 @@ func TestWriteSpansCSVAndJSON(t *testing.T) {
 	if err := sw.WriteSpans(&buf, true); err != nil {
 		t.Fatal(err)
 	}
-	want := "scenario,cell,id,node,submit_ns,arrive_ns,start_ns,done_ns,reply_ns,network_ns,queue_ns,service_ns\n" +
-		"test-tel,c0,0,a-node,0,2000000,2000000,12000000,15000000,5000000,0,10000000\n" +
-		// Incomplete span: raw stamps kept, derived hops zero-filled.
-		"test-tel,c0,1,b-node,1000000,0,0,0,0,0,0,0\n"
+	want := "scenario,cell,id,node,submit_ns,arrive_ns,start_ns,done_ns,reply_ns,network_ns,queue_ns,service_ns,outcome,attempts\n" +
+		"test-tel,c0,0,a-node,0,2000000,2000000,12000000,15000000,5000000,0,10000000,ok,2\n" +
+		// Incomplete span: raw stamps kept, derived hops zero-filled,
+		// resilience fields at their inert defaults.
+		"test-tel,c0,1,b-node,1000000,0,0,0,0,0,0,0,,0\n"
 	if buf.String() != want {
 		t.Fatalf("spans csv:\n%s\nwant:\n%s", buf.String(), want)
 	}

@@ -42,6 +42,10 @@ type SpanRow struct {
 	NetworkNs int64 `json:"network_ns"`
 	QueueNs   int64 `json:"queue_ns"`
 	ServiceNs int64 `json:"service_ns"`
+	// Outcome and Attempts carry the fault layer's request resolution
+	// ("" / 0 on runs without resilience).
+	Outcome  string `json:"outcome"`
+	Attempts int    `json:"attempts"`
 }
 
 // MetricRows flattens the sweep's scraped samples into export rows.
@@ -80,6 +84,8 @@ func (sw *Sweep) SpanRows() []SpanRow {
 					StartNs:  int64(s.Start),
 					DoneNs:   int64(s.Done),
 					ReplyNs:  int64(s.Reply),
+					Outcome:  s.Outcome,
+					Attempts: s.Attempts,
 				}
 				if s.Complete() {
 					row.NetworkNs = int64(s.Network())
@@ -121,7 +127,7 @@ func (sw *Sweep) WriteSpans(w io.Writer, csv bool) error {
 		return writeJSONRows(w, rows)
 	}
 	if err := writeLine(w,
-		"scenario,cell,id,node,submit_ns,arrive_ns,start_ns,done_ns,reply_ns,network_ns,queue_ns,service_ns"); err != nil {
+		"scenario,cell,id,node,submit_ns,arrive_ns,start_ns,done_ns,reply_ns,network_ns,queue_ns,service_ns,outcome,attempts"); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -129,7 +135,8 @@ func (sw *Sweep) WriteSpans(w io.Writer, csv bool) error {
 			strconv.FormatInt(r.SubmitNs, 10) + "," + strconv.FormatInt(r.ArriveNs, 10) + "," +
 			strconv.FormatInt(r.StartNs, 10) + "," + strconv.FormatInt(r.DoneNs, 10) + "," +
 			strconv.FormatInt(r.ReplyNs, 10) + "," + strconv.FormatInt(r.NetworkNs, 10) + "," +
-			strconv.FormatInt(r.QueueNs, 10) + "," + strconv.FormatInt(r.ServiceNs, 10)
+			strconv.FormatInt(r.QueueNs, 10) + "," + strconv.FormatInt(r.ServiceNs, 10) + "," +
+			r.Outcome + "," + strconv.Itoa(r.Attempts)
 		if err := writeLine(w, line); err != nil {
 			return err
 		}

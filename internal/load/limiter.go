@@ -3,11 +3,17 @@ package load
 // Limiter is an optional admission/concurrency-limit stage between a
 // Source and a served workload: at most Limit requests run at once;
 // excess admissions queue FIFO and dispatch as completions free slots.
-// It is purely event-driven — admissions run synchronously at the
-// simulated instant a slot is available — so placing it in front of a
-// workload never perturbs engine determinism.
+// The backlog can itself be bounded (NewBoundedLimiter): admissions
+// arriving with the queue full are shed — refused outright rather than
+// queued — which is the admission-control half of metastable-collapse
+// avoidance. It is purely event-driven — admissions run synchronously
+// at the simulated instant a slot is available — so placing it in
+// front of a workload never perturbs engine determinism.
 type Limiter struct {
-	limit    int
+	limit int
+	// queueCap bounds the backlog; non-positive means unbounded (the
+	// pre-bounding behaviour).
+	queueCap int
 	inflight int
 	queue    []func()
 	// peak tracks the high-water mark of concurrently running
@@ -16,25 +22,37 @@ type Limiter struct {
 	// queuedMax tracks the deepest the backlog got.
 	queuedMax int
 	// admitted counts admissions that ran (immediately or after
-	// queueing); delayed counts the subset that had to queue first.
+	// queueing); delayed counts the subset that had to queue first;
+	// shed counts admissions refused because the backlog was full.
 	admitted int
 	delayed  int
+	shed     int
 }
 
 // NewLimiter returns a limiter admitting at most limit concurrent
-// requests. A non-positive limit disables limiting: every admission
-// runs immediately.
+// requests, with an unbounded backlog. A non-positive limit disables
+// limiting: every admission runs immediately.
 func NewLimiter(limit int) *Limiter {
 	return &Limiter{limit: limit}
 }
 
+// NewBoundedLimiter returns a limiter admitting at most limit
+// concurrent requests and queueing at most queueCap more; admissions
+// beyond that are shed (Admit returns false and fn never runs). A
+// non-positive queueCap leaves the backlog unbounded.
+func NewBoundedLimiter(limit, queueCap int) *Limiter {
+	return &Limiter{limit: limit, queueCap: queueCap}
+}
+
 // Admit runs fn now if a slot is free (or limiting is disabled),
-// otherwise queues it behind earlier waiters.
-func (l *Limiter) Admit(fn func()) {
+// otherwise queues it behind earlier waiters. It reports whether fn was
+// accepted: false means the backlog was full and fn was shed — it will
+// never run, and the caller must fail the request.
+func (l *Limiter) Admit(fn func()) bool {
 	if l.limit <= 0 {
 		l.admitted++
 		fn()
-		return
+		return true
 	}
 	if l.inflight < l.limit {
 		l.inflight++
@@ -43,13 +61,18 @@ func (l *Limiter) Admit(fn func()) {
 		}
 		l.admitted++
 		fn()
-		return
+		return true
+	}
+	if l.queueCap > 0 && len(l.queue) >= l.queueCap {
+		l.shed++
+		return false
 	}
 	l.queue = append(l.queue, fn)
 	l.delayed++
 	if len(l.queue) > l.queuedMax {
 		l.queuedMax = len(l.queue)
 	}
+	return true
 }
 
 // Done releases one slot and dispatches the oldest queued admission, if
@@ -70,11 +93,25 @@ func (l *Limiter) Done() {
 	}
 }
 
+// Reset discards the backlog and zeroes the in-flight count, leaving
+// the cumulative counters (admitted, delayed, shed, peaks) intact.
+// Queued admissions are dropped without running and are added to the
+// shed count. Used when the stage behind the limiter crashes: its
+// queued work can never be served.
+func (l *Limiter) Reset() {
+	l.shed += len(l.queue)
+	l.queue = nil
+	l.inflight = 0
+}
+
 // InFlight returns the number of currently admitted requests.
 func (l *Limiter) InFlight() int { return l.inflight }
 
 // Queued returns the current backlog depth.
 func (l *Limiter) Queued() int { return len(l.queue) }
+
+// QueueCap returns the backlog bound (non-positive = unbounded).
+func (l *Limiter) QueueCap() int { return l.queueCap }
 
 // Peak returns the high-water mark of concurrent admissions.
 func (l *Limiter) Peak() int { return l.peak }
@@ -87,6 +124,10 @@ func (l *Limiter) QueuedMax() int { return l.queuedMax }
 func (l *Limiter) Admitted() int { return l.admitted }
 
 // Delayed counts admissions that could not run immediately and had to
-// queue (the limiter's "rejection" signal: with FIFO queueing nothing
-// is dropped, it is delayed instead).
+// queue (the limiter's soft "rejection" signal: queued work is delayed,
+// not dropped).
 func (l *Limiter) Delayed() int { return l.delayed }
+
+// Shed counts admissions refused because the bounded backlog was full,
+// plus queued admissions discarded by Reset. Shed work never runs.
+func (l *Limiter) Shed() int { return l.shed }

@@ -1,6 +1,8 @@
 package load
 
 import (
+	"sort"
+
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -20,6 +22,7 @@ type Meter struct {
 	inflight     map[int]sim.Time
 	submitted    int
 	completed    int
+	failed       int
 	violations   int
 	firstSubmit  sim.Time
 	lastComplete sim.Time
@@ -60,8 +63,44 @@ func (m *Meter) Completed(id int, t sim.Time) sim.Duration {
 	return lat
 }
 
+// Failed records that request id will never complete (node crash,
+// deadline exceeded, retry budget exhausted, shed). The request leaves
+// the in-flight set and counts as failed; no latency sample is
+// recorded, so percentiles and goodput describe served work only.
+// Failing an id that was never submitted (or already resolved) is a
+// no-op.
+func (m *Meter) Failed(id int, t sim.Time) {
+	_ = t
+	if _, ok := m.inflight[id]; !ok {
+		return
+	}
+	delete(m.inflight, id)
+	m.failed++
+}
+
+// FailAll fails every in-flight request at time t, in ascending id
+// order so the operation is deterministic. Used when a run is abandoned
+// at its horizon: the meter ends in a well-defined state instead of
+// carrying phantom in-flight entries.
+func (m *Meter) FailAll(t sim.Time) {
+	if len(m.inflight) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(m.inflight))
+	for id := range m.inflight { //lint:allow maprange(keys sorted below before any effect escapes)
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		m.Failed(id, t)
+	}
+}
+
 // InFlight returns the number of submitted-but-uncompleted requests.
 func (m *Meter) InFlight() int { return len(m.inflight) }
+
+// FailedCount returns how many requests were recorded as failed.
+func (m *Meter) FailedCount() int { return m.failed }
 
 // MeterSnapshot is a cheap point-in-time view of a Meter for scrapers:
 // plain counter copies plus a value copy of the streaming sketch, so a
@@ -101,8 +140,10 @@ func (m *Meter) MergeInto(dst *metrics.Sketch) { dst.Merge(&m.sketch) }
 // MeterStats is a snapshot of a Meter: streaming tail-latency
 // percentiles plus SLO-relative goodput accounting.
 type MeterStats struct {
-	// Offered and Completed count submissions and completions.
-	Offered, Completed int
+	// Offered and Completed count submissions and completions; Failed
+	// counts requests recorded as never completing (crashes, exceeded
+	// deadlines, shed work).
+	Offered, Completed, Failed int
 	// Latency percentiles from the quantile sketch (within 1% of the
 	// exact order statistics) plus the exact mean and extrema.
 	Mean, P50, P95, P99, P999 sim.Duration
@@ -123,6 +164,7 @@ func (m *Meter) Stats() MeterStats {
 	st := MeterStats{
 		Offered:    m.submitted,
 		Completed:  m.completed,
+		Failed:     m.failed,
 		SLO:        m.SLO,
 		Violations: m.violations,
 		Mean:       m.sketch.Mean(),

@@ -1,0 +1,135 @@
+package load
+
+import "repro/internal/sim"
+
+// RetryPolicy describes the client edge's resilience behaviour for one
+// request class: a per-attempt deadline, capped exponential backoff
+// between attempts, an optional token-bucket budget that bounds the
+// fleet-wide retry amplification, and an optional hedging delay after
+// which a second copy of a slow first attempt is issued. The zero value
+// disables everything: no timeouts, no retries, no hedging — exactly
+// the pre-fault cluster behaviour.
+type RetryPolicy struct {
+	// Timeout is the per-attempt deadline. An attempt that has not
+	// replied within Timeout of its dispatch is abandoned (and, policy
+	// permitting, retried). Zero disables deadlines — and with them
+	// retries, since only failures and timeouts trigger retry.
+	Timeout sim.Duration
+	// MaxAttempts caps total attempts per request, counting the first.
+	// Zero or negative means unlimited attempts (the naive policy that
+	// sustains metastable collapse). One means fail-fast: no retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it, capped at MaxBackoff. Zero retries immediately.
+	BaseBackoff sim.Duration
+	// MaxBackoff caps the exponential growth. Zero means no cap.
+	MaxBackoff sim.Duration
+	// Budget, when non-nil, is consulted before every retry: if the
+	// bucket is empty the request fails instead of retrying. Budgets
+	// are the lever that turns a retry storm back into load shedding.
+	Budget *RetryBudget
+	// HedgeDelay, when positive, issues a second copy of the request if
+	// the first attempt has not replied within HedgeDelay; the first
+	// reply wins and the loser is cancelled. Only the first attempt is
+	// hedged, so hedging at most doubles offered load.
+	HedgeDelay sim.Duration
+	// Quantum, when positive, rounds every backoff up to a positive
+	// multiple of it. Simulations that keep all their durations on a
+	// shared quantum grid (so that per-request timeline phases survive
+	// every hop — see the sharded determinism notes in sim/pdes) set it
+	// to that grid; zero keeps the continuous jittered schedule.
+	Quantum sim.Duration
+}
+
+// Enabled reports whether the policy does anything at all. A disabled
+// policy keeps the cluster's client edge on its original zero-overhead
+// path.
+func (p RetryPolicy) Enabled() bool {
+	return p.Timeout > 0 || p.HedgeDelay > 0
+}
+
+// Backoff returns the delay before retry number retry (1-based: the
+// delay between the first failure and the second attempt is
+// Backoff(1, …)). The schedule is capped exponential with full jitter
+// drawn from rng — pass a labelled sim.Rand stream so the draw order,
+// and with it the whole simulation, stays deterministic.
+func (p RetryPolicy) Backoff(retry int, rng *sim.Rand) sim.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// Full jitter: uniform in (0, d]. Sleeping a strictly positive
+	// span keeps retry instants off other events' instants.
+	j := sim.Duration(float64(d) * rng.Float64())
+	if p.Quantum > 0 {
+		return (d-j)/p.Quantum*p.Quantum + p.Quantum
+	}
+	return d - j + 1
+}
+
+// RetryBudget is a token-bucket retry budget in the Finagle tradition:
+// every original request deposits Ratio tokens, every retry withdraws
+// one. While the fleet is healthy the bucket stays full and retries
+// flow freely; when failures outpace Ratio× the offered load the
+// bucket drains and further retries are dropped, bounding the
+// amplification a dying node can induce to (1+Ratio)×.
+type RetryBudget struct {
+	ratio  float64
+	cap    float64
+	tokens float64
+	// withdrawn and exhausted count successful withdrawals and refused
+	// ones, for reporting.
+	withdrawn int
+	exhausted int
+}
+
+// NewRetryBudget returns a budget allowing ratio retries per original
+// request, with a burst allowance of burst tokens (also the initial
+// fill, so cold starts can retry immediately). A non-positive burst
+// defaults to 10 tokens.
+func NewRetryBudget(ratio float64, burst float64) *RetryBudget {
+	if burst <= 0 {
+		burst = 10
+	}
+	return &RetryBudget{ratio: ratio, cap: burst, tokens: burst}
+}
+
+// Deposit credits the budget for one original (non-retry) request.
+func (b *RetryBudget) Deposit() {
+	b.tokens += b.ratio
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+}
+
+// Withdraw takes one token if available and reports whether the caller
+// may retry. A refused withdrawal means the retry must be converted
+// into a failure.
+func (b *RetryBudget) Withdraw() bool {
+	if b.tokens >= 1 {
+		b.tokens--
+		b.withdrawn++
+		return true
+	}
+	b.exhausted++
+	return false
+}
+
+// Tokens returns the current token balance.
+func (b *RetryBudget) Tokens() float64 { return b.tokens }
+
+// Withdrawn counts retries the budget allowed.
+func (b *RetryBudget) Withdrawn() int { return b.withdrawn }
+
+// Exhausted counts retries the budget refused.
+func (b *RetryBudget) Exhausted() int { return b.exhausted }

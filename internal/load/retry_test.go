@@ -1,0 +1,213 @@
+package load
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRetryPolicyZeroValueDisabled(t *testing.T) {
+	var p RetryPolicy
+	if p.Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	eng := sim.NewEngine(1)
+	if d := p.Backoff(1, eng.Rand("t")); d != 0 {
+		t.Fatalf("zero policy backoff %v, want 0", d)
+	}
+}
+
+func TestBackoffCappedExponentialWithJitter(t *testing.T) {
+	p := RetryPolicy{
+		Timeout:     100 * sim.Millisecond,
+		BaseBackoff: 10 * sim.Millisecond,
+		MaxBackoff:  80 * sim.Millisecond,
+	}
+	if !p.Enabled() {
+		t.Fatal("timeout-bearing policy reports disabled")
+	}
+	eng := sim.NewEngine(7)
+	rng := eng.Rand("t")
+	for retry := 1; retry <= 8; retry++ {
+		ceiling := p.BaseBackoff << (retry - 1)
+		if ceiling > p.MaxBackoff {
+			ceiling = p.MaxBackoff
+		}
+		for i := 0; i < 200; i++ {
+			d := p.Backoff(retry, rng)
+			if d <= 0 {
+				t.Fatalf("retry %d: non-positive backoff %v", retry, d)
+			}
+			if d > ceiling+1 {
+				t.Fatalf("retry %d: backoff %v above ceiling %v", retry, d, ceiling)
+			}
+		}
+	}
+}
+
+func TestBackoffQuantumAligned(t *testing.T) {
+	const q = sim.Duration(1 << 12)
+	p := RetryPolicy{BaseBackoff: 64 * q, MaxBackoff: 512 * q, Quantum: q}
+	eng := sim.NewEngine(11)
+	rng := eng.Rand("t")
+	for retry := 1; retry <= 6; retry++ {
+		for i := 0; i < 200; i++ {
+			d := p.Backoff(retry, rng)
+			if d <= 0 || d%q != 0 {
+				t.Fatalf("retry %d: backoff %v not a positive multiple of quantum %v", retry, d, q)
+			}
+			if d > 512*q+q {
+				t.Fatalf("retry %d: backoff %v above quantised cap", retry, d)
+			}
+		}
+	}
+}
+
+func TestBackoffDeterministicPerStream(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 5 * sim.Millisecond, MaxBackoff: 40 * sim.Millisecond}
+	draw := func() []sim.Duration {
+		eng := sim.NewEngine(3)
+		rng := eng.Rand("retry")
+		var ds []sim.Duration
+		for retry := 1; retry <= 32; retry++ {
+			ds = append(ds, p.Backoff(retry, rng))
+		}
+		return ds
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v vs %v across identical streams", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryBudgetTokenBucket(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("initial tokens %v, want burst 2", got)
+	}
+	if !b.Withdraw() || !b.Withdraw() {
+		t.Fatal("burst tokens refused")
+	}
+	if b.Withdraw() {
+		t.Fatal("empty bucket allowed a retry")
+	}
+	if b.Exhausted() != 1 || b.Withdrawn() != 2 {
+		t.Fatalf("counters withdrawn=%d exhausted=%d, want 2/1", b.Withdrawn(), b.Exhausted())
+	}
+	// Two originals deposit 2×0.5 = 1 token: exactly one more retry.
+	b.Deposit()
+	b.Deposit()
+	if !b.Withdraw() {
+		t.Fatal("deposited token refused")
+	}
+	if b.Withdraw() {
+		t.Fatal("bucket overdrawn")
+	}
+	// Deposits clamp at the burst cap.
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens %v after flood, want cap 2", got)
+	}
+}
+
+func TestRetryBudgetDefaultBurst(t *testing.T) {
+	b := NewRetryBudget(0.1, 0)
+	if got := b.Tokens(); got != 10 {
+		t.Fatalf("default burst %v, want 10", got)
+	}
+}
+
+func TestBoundedLimiterShedsWhenFull(t *testing.T) {
+	l := NewBoundedLimiter(1, 2)
+	var ran []int
+	admit := func(id int) bool {
+		return l.Admit(func() { ran = append(ran, id) })
+	}
+	if !admit(0) {
+		t.Fatal("first admission refused")
+	}
+	if !admit(1) || !admit(2) {
+		t.Fatal("queueable admissions refused")
+	}
+	if admit(3) {
+		t.Fatal("full backlog accepted a fourth admission")
+	}
+	if l.Shed() != 1 || l.Queued() != 2 || l.QueueCap() != 2 {
+		t.Fatalf("shed=%d queued=%d cap=%d, want 1/2/2", l.Shed(), l.Queued(), l.QueueCap())
+	}
+	// Slots freeing drain the backlog FIFO; the shed admission never runs.
+	l.Done()
+	l.Done()
+	l.Done()
+	if len(ran) != 3 || ran[0] != 0 || ran[1] != 1 || ran[2] != 2 {
+		t.Fatalf("ran %v, want [0 1 2]", ran)
+	}
+}
+
+func TestBoundedLimiterResetShedsBacklog(t *testing.T) {
+	l := NewBoundedLimiter(1, 4)
+	run := 0
+	for i := 0; i < 4; i++ {
+		l.Admit(func() { run++ })
+	}
+	if run != 1 || l.Queued() != 3 {
+		t.Fatalf("run=%d queued=%d before reset, want 1/3", run, l.Queued())
+	}
+	l.Reset()
+	if l.Shed() != 3 || l.Queued() != 0 || l.InFlight() != 0 {
+		t.Fatalf("shed=%d queued=%d inflight=%d after reset, want 3/0/0",
+			l.Shed(), l.Queued(), l.InFlight())
+	}
+	// The dropped admissions must never run, even as later work completes.
+	l.Done()
+	if run != 1 {
+		t.Fatalf("reset backlog ran anyway: run=%d", run)
+	}
+}
+
+func TestPhasedPoissonArrivalsCarryUniquePhases(t *testing.T) {
+	const q = sim.Duration(1 << 10)
+	times := collect(t, &PhasedPoisson{Rate: 5000, Quantum: q}, 9, 500, sim.Millisecond)
+	for i, at := range times {
+		if got := sim.Duration(at) % q; got != sim.Duration(i+1) {
+			t.Fatalf("arrival %d at %v: phase %v, want %v", i, at, got, sim.Duration(i+1))
+		}
+		if i > 0 && at <= times[i-1] {
+			t.Fatalf("arrival %d at %v not after %v", i, at, times[i-1])
+		}
+	}
+	// Same seed, same timeline.
+	again := collect(t, &PhasedPoisson{Rate: 5000, Quantum: q}, 9, 500, sim.Millisecond)
+	for i := range times {
+		if times[i] != again[i] {
+			t.Fatalf("arrival %d differs across identical runs: %v vs %v", i, times[i], again[i])
+		}
+	}
+}
+
+func TestPhasedPoissonValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		src  *PhasedPoisson
+		n    int
+	}{
+		{"zero rate", &PhasedPoisson{Quantum: 1024}, 1},
+		{"zero quantum", &PhasedPoisson{Rate: 10}, 1},
+		{"phase space exhausted", &PhasedPoisson{Rate: 10, Quantum: 16}, 16},
+	}
+	for _, tc := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted", tc.name)
+				}
+			}()
+			eng := sim.NewEngine(1)
+			tc.src.Start(eng, eng.Rand("client"), tc.n, func(int) {})
+		}()
+	}
+}

@@ -86,6 +86,71 @@ func (p *Poisson) Start(eng *sim.Engine, rng *sim.Rand, n int, submit func(id in
 // Completed implements Source (open loop: ignored).
 func (p *Poisson) Completed(int) {}
 
+// PhasedPoisson is Poisson arrivals on a quantised timeline: each
+// cumulative arrival offset is snapped down to the Quantum grid and
+// request id arrives at grid + (id+1) nanoseconds. When every other
+// duration in the simulation is a Quantum multiple, every event caused
+// by request id inherits the unique sub-quantum phase id+1 — so no two
+// requests' events can ever share an exact nanosecond, the one
+// collision the sharded runtime's determinism contract excludes (see
+// sim/pdes). High-event-rate scenarios (retry storms) use it where
+// plain continuous draws would tie by birthday paradox. Requires
+// n < Quantum nanoseconds of phase space.
+type PhasedPoisson struct {
+	// Rate is the arrival rate (req/s).
+	Rate float64
+	// Quantum is the timeline grid every other simulated duration must
+	// be a multiple of.
+	Quantum sim.Duration
+}
+
+// Name implements Source.
+func (p *PhasedPoisson) Name() string { return "phased-poisson" }
+
+// phasedChain is the open-loop chain state for PhasedPoisson.
+type phasedChain struct {
+	eng    *sim.Engine
+	rng    *sim.Rand
+	rate   float64
+	q      sim.Duration
+	cum    sim.Duration // continuous cumulative offset, pre-snap
+	at     sim.Duration // current arrival's absolute offset
+	n, i   int
+	submit func(id int)
+}
+
+// phasedStep submits one arrival and schedules the next on the grid.
+func phasedStep(arg any) {
+	c := arg.(*phasedChain)
+	if c.i >= c.n {
+		return
+	}
+	c.submit(c.i)
+	c.i++
+	c.cum += expGap(c.rng, c.rate)
+	next := c.cum - c.cum%c.q + sim.Duration(c.i+1)
+	c.eng.AfterFunc(next-c.at, phasedStep, c)
+	c.at = next
+}
+
+// Start implements Source.
+func (p *PhasedPoisson) Start(eng *sim.Engine, rng *sim.Rand, n int, submit func(id int)) {
+	if p.Rate <= 0 || p.Quantum <= 0 {
+		panic("load: PhasedPoisson needs Rate > 0 and Quantum > 0")
+	}
+	if sim.Duration(n) >= p.Quantum {
+		panic("load: PhasedPoisson phase space exhausted: need n < Quantum nanoseconds")
+	}
+	c := &phasedChain{eng: eng, rng: rng, rate: p.Rate, q: p.Quantum,
+		n: n, submit: submit, at: 1}
+	// Request 0 arrives at its phase offset (1ns), mirroring Poisson's
+	// immediate first arrival.
+	eng.AfterFunc(c.at, phasedStep, c)
+}
+
+// Completed implements Source (open loop: ignored).
+func (p *PhasedPoisson) Completed(int) {}
+
 // Bursty is an MMPP-style bursty arrival process: a two-state Markov
 // chain modulates the instantaneous Poisson rate between Base and
 // Burst, with exponentially distributed state dwell times. Arrivals are

@@ -49,13 +49,14 @@ func ObserveMeter(reg *Registry, node, prefix string, m *load.Meter) {
 }
 
 // ObserveLimiter registers an admission limiter's series under prefix:
-// current in-flight and backlog depth plus the cumulative admitted and
-// delayed counts.
+// current in-flight and backlog depth plus the cumulative admitted,
+// delayed, and shed counts.
 func ObserveLimiter(reg *Registry, node, prefix string, l *load.Limiter) {
 	reg.GaugeNode(prefix+"/inflight", node, func() float64 { return float64(l.InFlight()) })
 	reg.GaugeNode(prefix+"/queued", node, func() float64 { return float64(l.Queued()) })
 	reg.GaugeNode(prefix+"/admitted", node, func() float64 { return float64(l.Admitted()) })
 	reg.GaugeNode(prefix+"/delayed", node, func() float64 { return float64(l.Delayed()) })
+	reg.GaugeNode(prefix+"/shed", node, func() float64 { return float64(l.Shed()) })
 }
 
 // kernelScraper emits a kernel's scheduler series: per-core runqueue

@@ -27,7 +27,36 @@ type Span struct {
 	// Reply is the reply's arrival back at the client edge. A zero
 	// Reply marks an incomplete span (the run timed out first).
 	Reply sim.Time
+	// Outcome classifies how the request resolved (the Outcome*
+	// constants). Empty means the span predates the fault layer or the
+	// run recorded plain successes only.
+	Outcome string
+	// Attempts counts dispatches the request took (0 when the cluster
+	// ran without resilience; then every request took exactly one).
+	Attempts int
 }
+
+// Request outcome labels stamped into Span.Outcome by resilient
+// clusters.
+const (
+	// OutcomeOK marks a request that completed end to end.
+	OutcomeOK = "ok"
+	// OutcomeFailed marks a request whose final attempt failed hard
+	// (node crash or node-side shed) with no retry available.
+	OutcomeFailed = "failed"
+	// OutcomeTimeout marks a request whose final attempt exceeded its
+	// deadline with no retry available.
+	OutcomeTimeout = "timeout"
+	// OutcomeShed marks a request dropped because the retry budget was
+	// empty.
+	OutcomeShed = "shed"
+	// OutcomeNoNode marks a request that found no live node to route
+	// to.
+	OutcomeNoNode = "no-node"
+	// OutcomeAbandoned marks a request still in flight when the run hit
+	// its horizon.
+	OutcomeAbandoned = "abandoned"
+)
 
 // Complete reports whether the request finished end to end.
 func (s Span) Complete() bool { return s.Reply > 0 }

@@ -333,6 +333,75 @@ type (
 	ClusterResult = experiments.ClusterResult
 )
 
+// Fault injection and resilience (internal/cluster): declarative
+// node-fault schedules, client-edge retry/hedging policies, passive
+// outlier ejection, and the queue-model node backend fault fleets run
+// on. All of it keeps the cluster's determinism contract: a faulted run
+// is byte-identical for any worker or shard count.
+type (
+	// FaultPlan is a declarative schedule of node crashes, recoveries,
+	// and brownouts, installed via ClusterOptions.Faults.
+	FaultPlan = cluster.FaultPlan
+	// FaultAware is the optional backend extension crashes and
+	// brownouts drive (SimService implements it).
+	FaultAware = cluster.FaultAware
+	// RetryPolicy is the client edge's resilience policy: per-attempt
+	// deadlines, capped-backoff retries under an optional token-bucket
+	// budget, and hedged requests (ClusterOptions.Retry).
+	RetryPolicy = load.RetryPolicy
+	// RetryBudget is the Finagle-style token-bucket retry budget.
+	RetryBudget = load.RetryBudget
+	// HealthConfig enables passive outlier ejection at the client edge
+	// (ClusterOptions.Health).
+	HealthConfig = cluster.HealthConfig
+	// ResilienceStats counts a run's fault-handling activity (retries,
+	// hedges, sheds, timeouts, ejections; ClusterStats.Resilience).
+	ResilienceStats = cluster.Resilience
+	// SimService is the lightweight queue-model node backend fault
+	// fleets use (Cluster.AddSimNode).
+	SimService = cluster.SimService
+	// SimServiceConfig parameterises a SimService.
+	SimServiceConfig = cluster.SimServiceConfig
+	// PhasedPoisson is Poisson arrivals on a quantised timeline, the
+	// arrival process that keeps faulted sharded runs tie-free.
+	PhasedPoisson = load.PhasedPoisson
+	// ChaosConfig sweeps the fault-injection scenario (faults × retry
+	// policies × routers).
+	ChaosConfig = experiments.ChaosConfig
+	// ChaosResult holds the chaos sweep grid.
+	ChaosResult = experiments.ChaosResult
+)
+
+// ErrNoLiveNodes is the typed routing failure when every node is
+// crashed or ejected (errors.Is-matchable; see Cluster.PickNode).
+var ErrNoLiveNodes = cluster.ErrNoLiveNodes
+
+// NewFaultPlan returns an empty fault schedule; chain Crash, Recover,
+// and Brownout calls onto it.
+func NewFaultPlan() *FaultPlan { return cluster.NewFaultPlan() }
+
+// NewRetryBudget returns a token-bucket retry budget allowing ratio
+// retries per original request with the given burst allowance.
+func NewRetryBudget(ratio, burst float64) *RetryBudget { return load.NewRetryBudget(ratio, burst) }
+
+// NewBoundedAdmissionLimiter returns a limiter admitting at most limit
+// concurrent requests and queueing at most queueCap more; admissions
+// beyond that are shed (Admit returns false and the callback never
+// runs).
+func NewBoundedAdmissionLimiter(limit, queueCap int) *AdmissionLimiter {
+	return load.NewBoundedLimiter(limit, queueCap)
+}
+
+// RunChaos executes the fault-injection sweep.
+func RunChaos(cfg ChaosConfig) *ChaosResult { return experiments.RunChaos(cfg) }
+
+// DefaultChaos returns the scaled fault-injection sweep (4-node fleet,
+// kill + brownout legs, every retry policy and router).
+func DefaultChaos() ChaosConfig { return experiments.DefaultChaos() }
+
+// QuickChaos returns a small fast fault-injection sweep.
+func QuickChaos() ChaosConfig { return experiments.QuickChaos() }
+
 // Telemetry layer (internal/obs): deterministic simulated-time
 // observability — metric samples scraped by engine timers and
 // per-request hop spans — with the same byte-identity contract as the

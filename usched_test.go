@@ -169,3 +169,61 @@ func TestPublicAPICluster(t *testing.T) {
 		t.Fatalf("bad cluster stats: %+v", st)
 	}
 }
+
+func TestPublicAPIFaultInjection(t *testing.T) {
+	// Wire a faulted SimService fleet through the facade: one node is
+	// killed and recovers, the client edge retries under a budget, and
+	// the run completes with the resilience counters populated.
+	const q = 32768 * sim.Nanosecond
+	cl := NewShardedCluster(ClusterOptions{
+		Net: ClusterNetwork{RequestLatency: 2 * q, ReplyLatency: 2 * q},
+		SLO: 64 * q,
+		Retry: RetryPolicy{
+			Timeout:     64 * q,
+			MaxAttempts: 3,
+			BaseBackoff: 8 * q,
+			MaxBackoff:  32 * q,
+			Budget:      NewRetryBudget(0.5, 10),
+			Quantum:     q,
+		},
+		Faults: NewFaultPlan().Crash(0, 200*q).Recover(0, 2000*q),
+		Health: HealthConfig{EjectAfter: 5, Cooldown: 500 * q},
+	}, NewRoundRobinRouter(), 2, 7)
+	var svcs []*SimService
+	for i := 0; i < 2; i++ {
+		svcs = append(svcs, cl.AddSimNode("n"+string(rune('0'+i)), SimServiceConfig{
+			Workers: 2, QueueCap: 16, MeanService: 8 * q, Quantum: q,
+		}))
+	}
+	cl.Serve(&PhasedPoisson{Rate: 20000, Quantum: q}, 400)
+	timedOut, err := cl.Run(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timedOut {
+		t.Fatal("faulted fleet hit the horizon")
+	}
+	st := cl.Stats()
+	var res ResilienceStats = st.Resilience
+	if res.Retries == 0 || res.Failed == 0 {
+		t.Fatalf("fault machinery unexercised: %+v", res)
+	}
+	if st.EndToEnd.Completed+res.Failed != 400 {
+		t.Fatalf("accounts for %d+%d of 400 requests", st.EndToEnd.Completed, res.Failed)
+	}
+	shed := 0
+	for _, svc := range svcs {
+		shed += svc.Shed()
+	}
+	if shed == 0 {
+		t.Fatal("bounded node queues never shed under the crash backlog")
+	}
+	// The bounded admission limiter sheds once its backlog fills.
+	lim := NewBoundedAdmissionLimiter(1, 1)
+	if !lim.Admit(func() {}) || !lim.Admit(func() {}) {
+		t.Fatal("limiter refused admissible work")
+	}
+	if lim.Admit(func() {}) || lim.Shed() != 1 {
+		t.Fatal("bounded limiter did not shed beyond its backlog")
+	}
+}
