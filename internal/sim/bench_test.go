@@ -116,6 +116,61 @@ func BenchmarkParkResumePingPong(b *testing.B) {
 	e.KillAll()
 }
 
+// benchDenseFleetTimers models the fleet-scale inner loop the timing
+// wheel exists for: `nodes` simulated nodes' worth of dense
+// short-horizon timers (per node: slice expiries, quantum renewals, and
+// a backlog of pending arrivals), spread over a few milliseconds on the
+// 32.768µs quantised timeline grid from the resilience layer. Per
+// benchmark op: one closure-free schedule plus its fire, against a
+// standing population that scales with the node count — exactly where
+// the heap's O(log n) used to bite.
+func benchDenseFleetTimers(b *testing.B, nodes int) {
+	e := NewEngine(1)
+	nop := func(any) {}
+	const perNode = 48 // ~16 cores' slice+quantum timers plus a queue of arrivals
+	const grid = 32768 * Nanosecond
+	pop := nodes * perNode
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += pop {
+		for i := 0; i < pop; i++ {
+			e.AfterFunc(Duration(i%128+1)*grid, nop, nil)
+		}
+		if _, err := e.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseTimersNode1(b *testing.B)  { benchDenseFleetTimers(b, 1) }
+func BenchmarkDenseTimersNode8(b *testing.B)  { benchDenseFleetTimers(b, 8) }
+func BenchmarkDenseTimersNode64(b *testing.B) { benchDenseFleetTimers(b, 64) }
+
+// BenchmarkCancelStorm models a fleet-wide timeout storm: a large
+// standing population of pending retry/futex deadlines, with each op
+// scheduling a new timeout and cancelling it before it fires (the
+// overwhelmingly common case — timeouts exist to not expire). Wheel
+// insert and cancel are both O(1); the heap paid O(log n) twice against
+// the full population.
+func BenchmarkCancelStorm(b *testing.B) {
+	e := NewEngine(1)
+	nop := func(any) {}
+	const grid = 32768 * Nanosecond
+	for i := 0; i < 8192; i++ {
+		e.AfterFunc(Duration(i%512+1)*grid, nop, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ev := e.AfterFunc(Duration(n%256+1)*grid, nop, nil)
+		ev.Cancel()
+	}
+	b.StopTimer()
+	if _, err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkProcSleep measures the sleep path: timer + resume event per
 // iteration.
 func BenchmarkProcSleep(b *testing.B) {

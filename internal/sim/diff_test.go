@@ -1,0 +1,242 @@
+package sim
+
+import "testing"
+
+// Differential test: the three-tier queue (wheel/ring/heap) against a
+// naive reference engine — an unordered slice scanned for the minimum
+// (at, seq) on every fire. Both sides run the same randomized program of
+// At/AtFunc/Cancel/Run/RunWindow ops, including events that schedule
+// children and cancel victims from inside callbacks; the (id, at) firing
+// sequences and the pending counts must match exactly. This catches
+// merge bugs between the tiers that the unit tests can't enumerate:
+// cascade-order mistakes, cursor/bound off-by-ones, drains racing ring
+// heads, stale idx encodings.
+
+// refEvent is one scheduled callback in the reference engine.
+type refEvent struct {
+	at   Time
+	seq  uint64
+	id   int
+	dead bool
+}
+
+// refEngine is the sorted-list reference: O(n) scan per fire, trivially
+// correct by construction.
+type refEngine struct {
+	now Time
+	seq uint64
+	evs []*refEvent
+}
+
+func (r *refEngine) schedule(at Time, id int) *refEvent {
+	if at < r.now {
+		at = r.now
+	}
+	r.seq++
+	ev := &refEvent{at: at, seq: r.seq, id: id}
+	r.evs = append(r.evs, ev)
+	return ev
+}
+
+func (r *refEngine) pending() int {
+	n := 0
+	for _, ev := range r.evs {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// run mirrors Engine.run: fire events with at <= until in (at, seq)
+// order; an event beyond the horizon advances the clock to until, an
+// empty queue leaves it (window=true always advances, like RunWindow).
+func (r *refEngine) run(until Time, window bool, fire func(id int, at Time)) {
+	for {
+		var best *refEvent
+		for _, ev := range r.evs {
+			if ev.dead {
+				continue
+			}
+			if best == nil || ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+				best = ev
+			}
+		}
+		if best == nil {
+			if window && until > r.now {
+				r.now = until
+			}
+			return
+		}
+		if best.at > until {
+			if until > r.now {
+				r.now = until
+			}
+			return
+		}
+		best.dead = true
+		r.now = best.at
+		fire(best.id, best.at)
+	}
+}
+
+// diffOp is one step of the randomized program, generated once and
+// interpreted against both engines.
+type diffOp struct {
+	kind    int   // 0: schedule, 1: cancel, 2: run, 3: runWindow
+	delta   int64 // schedule: delta from now; run: horizon from now
+	target  int   // cancel: index into issued ids
+	chain   bool  // schedule: the callback schedules a child when it fires
+	cancels bool  // schedule: the callback cancels `target` when it fires
+}
+
+func genDiffProgram(r *Rand, n int) []diffOp {
+	ops := make([]diffOp, n)
+	for i := range ops {
+		switch k := r.Intn(10); {
+		case k < 5:
+			ops[i] = diffOp{kind: 0, delta: int64(wheelDelta(r)),
+				chain: r.Intn(4) == 0, cancels: r.Intn(6) == 0, target: r.Intn(1 << 16)}
+		case k < 7:
+			ops[i] = diffOp{kind: 1, target: r.Intn(1 << 16)}
+		case k < 9:
+			ops[i] = diffOp{kind: 2, delta: int64(wheelDelta(r))}
+		default:
+			ops[i] = diffOp{kind: 3, delta: int64(wheelDelta(r))}
+		}
+	}
+	return ops
+}
+
+// childDelta derives a chained event's delay purely from its parent id,
+// so both interpreters compute identical timelines without sharing
+// state.
+func childDelta(id int) Duration {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return Duration(h % uint64(1<<(wheelShift+3*wheelSlotBits)))
+}
+
+type fireRec struct {
+	id int
+	at Time
+}
+
+// runDiffReal interprets the program against the real engine; gateOff
+// forces every eligible event through the wheel (the density gate's
+// placement choice must be unobservable either way).
+func runDiffReal(ops []diffOp, gateOff bool) (fired []fireRec, pendings []int) {
+	e := NewEngine(1)
+	if gateOff {
+		e.wheelGate = 0
+	}
+	var handles []Event
+	nextID := 0
+	var scheduleReal func(at Time, chain, cancels bool, target int)
+	scheduleReal = func(at Time, chain, cancels bool, target int) {
+		id := nextID
+		nextID++
+		handles = append(handles, e.At(at, func() {
+			fired = append(fired, fireRec{id, e.Now()})
+			if cancels && len(handles) > 0 {
+				handles[target%len(handles)].Cancel()
+			}
+			if chain {
+				scheduleReal(e.Now().Add(childDelta(id)), false, false, 0)
+			}
+		}))
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			scheduleReal(e.Now().Add(Duration(op.delta)), op.chain, op.cancels, op.target)
+		case 1:
+			if len(handles) > 0 {
+				handles[op.target%len(handles)].Cancel()
+			}
+		case 2:
+			if _, err := e.Run(e.Now().Add(Duration(op.delta))); err != nil {
+				panic(err)
+			}
+		case 3:
+			if _, err := e.RunWindow(e.Now().Add(Duration(op.delta))); err != nil {
+				panic(err)
+			}
+		}
+		pendings = append(pendings, e.Pending())
+	}
+	if _, err := e.RunAll(); err != nil {
+		panic(err)
+	}
+	pendings = append(pendings, e.Pending())
+	return fired, pendings
+}
+
+// refHandle mirrors Event handle semantics (stale handles inert) for the
+// reference: cancel marks dead only if not already fired/cancelled.
+func runDiffRef(ops []diffOp) (fired []fireRec, pendings []int) {
+	r := &refEngine{}
+	var handles []*refEvent
+	nextID := 0
+	meta := map[int]diffOp{} // id -> its schedule op (chain/cancel behaviour)
+	schedule := func(at Time, chain, cancels bool, target int) {
+		id := nextID
+		nextID++
+		meta[id] = diffOp{chain: chain, cancels: cancels, target: target}
+		handles = append(handles, r.schedule(at, id))
+	}
+	onFire := func(id int, at Time) {
+		fired = append(fired, fireRec{id, at})
+		m := meta[id]
+		if m.cancels && len(handles) > 0 {
+			handles[m.target%len(handles)].dead = true
+		}
+		if m.chain {
+			schedule(at.Add(childDelta(id)), false, false, 0)
+		}
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			schedule(r.now.Add(Duration(op.delta)), op.chain, op.cancels, op.target)
+		case 1:
+			if len(handles) > 0 {
+				handles[op.target%len(handles)].dead = true
+			}
+		case 2:
+			r.run(r.now.Add(Duration(op.delta)), false, onFire)
+		case 3:
+			r.run(r.now.Add(Duration(op.delta)), true, onFire)
+		}
+		pendings = append(pendings, r.pending())
+	}
+	r.run(Forever, false, onFire)
+	pendings = append(pendings, r.pending())
+	return fired, pendings
+}
+
+// TestDifferentialAgainstReference runs many randomized programs through
+// both engines and demands identical firing sequences and pending
+// counts.
+func TestDifferentialAgainstReference(t *testing.T) {
+	rng := NewRand(20260808)
+	for prog := 0; prog < 60; prog++ {
+		ops := genDiffProgram(rng.Stream("prog"), 300)
+		gotF, gotP := runDiffReal(ops, prog%2 == 0)
+		wantF, wantP := runDiffRef(ops)
+		if len(gotF) != len(wantF) {
+			t.Fatalf("program %d: real fired %d events, reference %d", prog, len(gotF), len(wantF))
+		}
+		for i := range wantF {
+			if gotF[i] != wantF[i] {
+				t.Fatalf("program %d: firing diverged at %d: real %+v, reference %+v",
+					prog, i, gotF[i], wantF[i])
+			}
+		}
+		for i := range wantP {
+			if gotP[i] != wantP[i] {
+				t.Fatalf("program %d: pending diverged after op %d: real %d, reference %d",
+					prog, i, gotP[i], wantP[i])
+			}
+		}
+	}
+}

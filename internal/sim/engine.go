@@ -14,6 +14,31 @@ type Engine struct {
 	rng  *Rand
 	free []*event // recycled event storage; steady-state At allocates nothing
 
+	// wheel absorbs short-horizon future timers with O(1) insert/cancel;
+	// its leading slots drain into the heap before they can fire, so the
+	// firing order below is still the two-way ring/heap (at, seq) merge.
+	// Far-future events (beyond the wheel horizon) go to the heap
+	// directly. See wheel.go.
+	wheel timerWheel
+
+	// wheelGate is the heap population at which new events start
+	// routing into the wheel (wheelMinHeap; tests zero it to force
+	// wheel placement). Cascading costs a constant per event, which
+	// only beats the heap's O(log n) once the near-horizon population
+	// is dense; below the gate — a lone cross-shard message, a single
+	// self-rescheduling tick — the 4-ary heap is 2–3 levels deep and
+	// already optimal. Once open (wheel non-empty) the gate stays open
+	// until the wheel drains, so a dense phase is not split across
+	// tiers by heap-length wobble. Placement is unobservable either
+	// way: firing order is the (at, seq) total order regardless of
+	// tier, and the gate reads only deterministic engine state.
+	wheelGate int
+
+	// pending counts live queued events across all three tiers (wheel,
+	// immediate ring, heap): incremented at enqueue, decremented at fire
+	// and at Cancel, so Pending is O(1).
+	pending int
+
 	// imm is the immediate ring: events scheduled for the current
 	// instant (proc resumes, After(0) chains). Because the clock never
 	// runs backwards and seq increases, these arrive already sorted by
@@ -23,7 +48,6 @@ type Engine struct {
 	// the exact global firing order.
 	imm     []*event
 	immHead int
-	immDead int // cancelled ring entries awaiting drop at peek
 
 	cur     *Proc
 	back    chan struct{} // procs hand control back to the driver here
@@ -45,7 +69,8 @@ func NewEngine(seed uint64) *Engine {
 	return &Engine{
 		rng: NewRand(seed),
 		//lint:allow goleak(unbuffered back channel is the engine half of the proc coroutine handoff; see Proc.Spawn)
-		back: make(chan struct{}),
+		back:      make(chan struct{}),
+		wheelGate: wheelMinHeap,
 	}
 }
 
@@ -92,11 +117,20 @@ func (e *Engine) recycle(ev *event) {
 }
 
 // enqueue routes a freshly allocated event to the immediate ring (events
-// for the current instant) or the heap (future events).
+// for the current instant), the timing wheel (future events within its
+// horizon), or the heap (far-future overflow, plus events whose wheel
+// slot has already drained).
 func (e *Engine) enqueue(ev *event) {
+	e.pending++
 	if ev.at == e.now {
 		ev.idx = idxImm
 		e.imm = append(e.imm, ev)
+		return
+	}
+	if uint64(ev.at)>>wheelShift >= e.wheel.pos &&
+		(e.wheel.count > 0 || e.heap.len() >= e.wheelGate) &&
+		e.wheel.place(ev) {
+		e.wheel.inserts++
 		return
 	}
 	e.heap.push(ev)
@@ -144,12 +178,12 @@ func (e *Engine) AfterFunc(d Duration, fn func(any), arg any) Event {
 // indicates a deadlock in the simulated system.
 func (e *Engine) Live() int { return e.live }
 
-// Pending reports the number of queued events. Cancelled events never
-// count: heap events are removed eagerly, ring events are invalidated at
-// cancel and excluded here.
-func (e *Engine) Pending() int {
-	return e.heap.len() + (len(e.imm) - e.immHead) - e.immDead
-}
+// Pending reports the number of queued events — O(1), from a live-event
+// counter maintained at schedule, fire, and cancel. Cancelled events
+// never count: wheel and heap events are removed eagerly, ring events
+// are invalidated (and uncounted) at cancel and their storage dropped at
+// peek.
+func (e *Engine) Pending() int { return e.pending }
 
 // Stop makes Run return after the current event completes. The request
 // is sticky until a Run call consumes it: a Stop issued while no Run is
@@ -159,7 +193,11 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // peekNext returns the next event to fire — the smaller of the ring and
 // heap heads by (at, seq) — or nil when no live event remains. Dead
-// (cancelled) ring entries reaching the head are dropped here.
+// (cancelled) ring entries reaching the head are dropped here, and any
+// wheel slot that might hold the earliest event is drained into the heap
+// first, so the merge below remains a two-way comparison and the global
+// (at, seq) firing order is exactly what a heap-only queue would
+// produce.
 func (e *Engine) peekNext() *event {
 	for e.immHead < len(e.imm) {
 		iv := e.imm[e.immHead]
@@ -168,12 +206,29 @@ func (e *Engine) peekNext() *event {
 		}
 		e.imm[e.immHead] = nil
 		e.immHead++
-		e.immDead--
 		e.recycle(iv)
 	}
 	if e.immHead == len(e.imm) && len(e.imm) > 0 {
 		e.imm = e.imm[:0]
 		e.immHead = 0
+	}
+	// Every wheel-resident event satisfies at >= wheel.pos<<wheelShift
+	// (see wheel.go), so a ring/heap head strictly below that bound wins
+	// outright; at or beyond it, drain slots until the bound passes the
+	// candidate (ties must drain: an equal-instant wheel event may carry
+	// a smaller seq).
+	for e.wheel.count > 0 {
+		var cand Time = -1
+		if e.immHead < len(e.imm) {
+			cand = e.imm[e.immHead].at
+		}
+		if hv := e.heap.peek(); hv != nil && (cand < 0 || hv.at < cand) {
+			cand = hv.at
+		}
+		if cand >= 0 && cand < Time(e.wheel.pos<<wheelShift) {
+			break
+		}
+		e.wheel.drainNextSlot(e)
 	}
 	hv := e.heap.peek()
 	if e.immHead == len(e.imm) {
@@ -203,6 +258,7 @@ func (e *Engine) unlink(ev *event) {
 // first so the callback itself may schedule (and the pool may reuse) it.
 func (e *Engine) fire(ev *event) {
 	e.unlink(ev)
+	e.pending--
 	e.now = ev.at
 	e.processed++
 	fn, afn, arg := ev.fn, ev.afn, ev.arg
@@ -274,6 +330,30 @@ func (e *Engine) run(until Time, window bool) (Time, error) {
 // lifetime — the profiling denominator for events-per-host-second and
 // the pdes per-shard events-per-window accounting.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// WheelOccupancy returns the number of events currently resident in the
+// timing wheel — the short-horizon tier between the immediate ring and
+// the overflow heap. Like Processed, it is a profiling accessor: the
+// value is per-engine (and therefore shard-dependent in a pdes fleet),
+// so it belongs in run-profiling reports, not in shard-count-invariant
+// metric exports.
+func (e *Engine) WheelOccupancy() int { return e.wheel.count }
+
+// WheelInserts returns the number of events the engine has routed into
+// the timing wheel over its lifetime (schedule-time placements only;
+// cascades are counted separately).
+func (e *Engine) WheelInserts() uint64 { return e.wheel.inserts }
+
+// WheelCascades returns the number of level-to-level event migrations
+// the wheel has performed — each event cascades at most wheelLevels-1
+// times, so this bounds the wheel's amortized per-event overhead.
+func (e *Engine) WheelCascades() uint64 { return e.wheel.cascades }
+
+// WheelDrains returns the number of events the wheel has handed to the
+// heap as their slots became current. WheelInserts - WheelDrains -
+// WheelOccupancy is the number of wheel events cancelled before their
+// slot drained — timers that never paid a heap operation at all.
+func (e *Engine) WheelDrains() uint64 { return e.wheel.drains }
 
 // NextEventTime returns the instant of the earliest queued live event
 // and whether one exists. Shard coordinators use it to derive the next

@@ -19,14 +19,24 @@ type event struct {
 	arg any
 
 	eng  *Engine
-	idx  int  // heap index, idxImm in the immediate ring, idxFree otherwise
+	idx  int  // heap index, or one of the sentinel/wheel encodings below
 	dead bool // cancelled while in the immediate ring; dropped at peek
+
+	// prev/next link the event into its timing-wheel slot (a doubly
+	// linked list), making wheel cancellation O(1). They are nil whenever
+	// the event is not wheel-resident.
+	prev, next *event
 }
 
-// Sentinel idx values for events outside the heap.
+// Sentinel idx values for events outside the heap. A wheel-resident
+// event encodes its (level, slot) position as
+// idx = idxWheelBase - (level*wheelSlots + slot), so idx <= idxWheelBase
+// identifies the wheel and Cancel can find the slot without extra
+// fields.
 const (
-	idxFree = -1 // not queued (free, fired, or cancelled)
-	idxImm  = -2 // queued in the engine's immediate ring
+	idxFree      = -1 // not queued (free, fired, or cancelled)
+	idxImm       = -2 // queued in the engine's immediate ring
+	idxWheelBase = -3 // first wheel encoding; see above
 )
 
 // Event is a cancellable handle to a scheduled callback. The zero Event
@@ -56,25 +66,30 @@ func (ev Event) When() Time {
 
 // Cancel removes the event from the queue so it never fires. Cancelling
 // an already-fired, already-cancelled, or zero Event is a no-op. Cancel
-// is O(log n): the event is eagerly unlinked from the heap and its
-// storage recycled, so cancel-heavy workloads (timeouts that rarely
-// expire) do not drag dead events through the queue.
+// is O(1) for wheel-resident events (the dominant short-horizon timer
+// population: futex timeouts, slice renewals, retry deadlines) and
+// O(log n) for heap events; both are eager, so cancel-heavy workloads
+// never drag dead events through the queue.
 func (ev Event) Cancel() {
 	e := ev.e
 	if e == nil || e.gen != ev.gen || e.idx == idxFree {
 		return
 	}
 	eng := e.eng
+	eng.pending--
 	if e.idx == idxImm {
 		// Ring entries cannot be unlinked in O(1); mark the event dead
 		// (invalidated, so handles and callbacks are gone) and let peek
 		// drop the storage when it reaches the head.
 		e.dead = true
-		eng.immDead++
 		eng.invalidate(e)
 		return
 	}
-	eng.heap.remove(e)
+	if e.idx <= idxWheelBase {
+		eng.wheel.remove(e)
+	} else {
+		eng.heap.remove(e)
+	}
 	eng.invalidate(e)
 	eng.recycle(e)
 }

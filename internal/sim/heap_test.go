@@ -5,8 +5,9 @@ import (
 	"testing/quick"
 )
 
-// checkInvariants verifies the heap property, index bookkeeping, and the
-// sortedness of the immediate ring.
+// checkInvariants verifies the heap property, index bookkeeping, the
+// sortedness of the immediate ring, the wheel's slot/occupancy/linkage
+// invariants, and the O(1) pending counter against a full recount.
 func checkInvariants(t *testing.T, e *Engine) {
 	t.Helper()
 	h := &e.heap
@@ -22,10 +23,14 @@ func checkInvariants(t *testing.T, e *Engine) {
 			}
 		}
 	}
+	immLive := 0
 	for i := e.immHead; i < len(e.imm); i++ {
 		ev := e.imm[i]
 		if ev.idx != idxImm {
 			t.Fatalf("imm[%d].idx = %d, want %d", i, ev.idx, idxImm)
+		}
+		if !ev.dead {
+			immLive++
 		}
 		if i > e.immHead {
 			prev := e.imm[i-1]
@@ -34,6 +39,50 @@ func checkInvariants(t *testing.T, e *Engine) {
 					i, ev.at, ev.seq, prev.at, prev.seq)
 			}
 		}
+	}
+	w := &e.wheel
+	wheelTotal := 0
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		sh := uint(lvl * wheelSlotBits)
+		for s := 0; s < wheelSlots; s++ {
+			head := w.slots[lvl][s]
+			occupied := w.occ[lvl]&(1<<uint(s)) != 0
+			if (head != nil) != occupied {
+				t.Fatalf("wheel occ[%d] bit %d = %v but head = %v", lvl, s, occupied, head)
+			}
+			if head == nil {
+				continue
+			}
+			if head.prev != nil {
+				t.Fatalf("wheel slot (%d,%d) head has prev", lvl, s)
+			}
+			for ev := head; ev != nil; ev = ev.next {
+				wheelTotal++
+				if want := idxWheelBase - (lvl*wheelSlots + s); ev.idx != want {
+					t.Fatalf("wheel event idx = %d, want %d", ev.idx, want)
+				}
+				if ev.next != nil && ev.next.prev != ev {
+					t.Fatalf("wheel slot (%d,%d) list linkage broken", lvl, s)
+				}
+				tick := uint64(ev.at) >> wheelShift
+				if tick < w.pos {
+					t.Fatalf("wheel event at tick %d behind cursor %d", tick, w.pos)
+				}
+				if (tick>>sh)&wheelMask != uint64(s) {
+					t.Fatalf("wheel event tick %d in wrong slot (%d,%d)", tick, lvl, s)
+				}
+				if (tick>>sh)-(w.pos>>sh) >= wheelSlots {
+					t.Fatalf("wheel event tick %d beyond level-%d horizon (pos %d)", tick, lvl, w.pos)
+				}
+			}
+		}
+	}
+	if wheelTotal != w.count {
+		t.Fatalf("wheel count = %d, recount = %d", w.count, wheelTotal)
+	}
+	if want := wheelTotal + h.len() + immLive; e.pending != want {
+		t.Fatalf("pending counter = %d, recount = %d (wheel %d, heap %d, imm %d)",
+			e.pending, want, wheelTotal, h.len(), immLive)
 	}
 }
 

@@ -240,3 +240,95 @@ func TestWindowStats(t *testing.T) {
 		t.Fatalf("total events = %d, want 5", events)
 	}
 }
+
+// shardedDenseTimers runs the wheel's fleet workload under the
+// conservative-parallel coordinator: each logical node answers requests
+// by scheduling a dense burst of short-horizon grid-aligned timers (the
+// slice/quantum/arrival pattern the timing wheel absorbs), cancelling a
+// deterministic third of them, and folding every fire instant into a
+// node-local accumulator that is shipped back to shard 0 when the burst
+// settles. Burst deltas deliberately straddle the lookahead window, so
+// wheel-resident timers must survive RunWindow's park-at-window-edge
+// clock jumps and keep NextEventTime (the safe-window input) exact.
+// The recorded log must be identical for any shard count.
+func shardedDenseTimers(t *testing.T, shards int) []string {
+	t.Helper()
+	const nodes, reqs, burst = 4, 3, 48
+	const grid = 32768 * sim.Nanosecond
+	g, s := newGroup(shards)
+	var log []string
+
+	type node struct {
+		sh  *Shard
+		id  int
+		acc uint64
+		out int // burst timers still pending
+	}
+	ns := make([]*node, nodes)
+	for i := range ns {
+		ns[i] = &node{sh: s[i%shards], id: i}
+	}
+
+	reply := func(arg any) {
+		log = append(log, fmt.Sprintf("%v %v", s[0].Now(), arg))
+	}
+	// serve schedules the dense burst on the node's shard. Deltas span
+	// sub-window grid instants up to a few multiples of the lookahead,
+	// so some timers are still wheel-resident when the window closes.
+	serve := func(arg any) {
+		n := arg.(*node)
+		eng := n.sh.Engine()
+		for j := 0; j < burst; j++ {
+			delta := sim.Duration(j%96+1)*grid + sim.Duration(j%5)*7*sim.Millisecond
+			n.out++
+			ev := eng.AfterFunc(delta, func(a any) {
+				nd := a.(*node)
+				nd.acc = nd.acc*1099511628211 + uint64(nd.sh.Now())
+				nd.out--
+				if nd.out == 0 {
+					nd.sh.Send(s[0], nd.sh.Now().Add(look), reply,
+						fmt.Sprintf("node%d acc%x", nd.id, nd.acc))
+				}
+			}, n)
+			if j%3 == 2 {
+				ev.Cancel()
+				n.out--
+			}
+		}
+	}
+	for r := 0; r < reqs; r++ {
+		n := ns[r%nodes]
+		s[0].Engine().AfterFunc(sim.Duration(r)*5*sim.Millisecond, func(arg any) {
+			nd := arg.(*node)
+			s[0].Send(nd.sh, s[0].Now().Add(look), serve, nd)
+		}, n)
+	}
+	if _, err := g.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != reqs {
+		t.Fatalf("%d replies, want %d", len(log), reqs)
+	}
+	// The bursts must actually have exercised the wheel tier, not just
+	// the heap: grid-scale deltas are well inside the level-0/1 horizon.
+	var inserts uint64
+	for _, sh := range g.Shards() {
+		inserts += sh.Engine().WheelInserts()
+	}
+	if inserts == 0 {
+		t.Fatal("dense burst never touched the timing wheel")
+	}
+	if ws := g.WindowStats(); ws.Windows < 2 {
+		t.Fatalf("windows = %d, want the bursts to span several lockstep windows", ws.Windows)
+	}
+	return log
+}
+
+func TestDenseTimersShardCountInvariant(t *testing.T) {
+	ref := shardedDenseTimers(t, 1)
+	for _, n := range []int{2, 4} {
+		if got := shardedDenseTimers(t, n); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%d shards diverged:\n%v\nwant\n%v", n, got, ref)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package sim
+
+import "math/bits"
+
+// timerWheel is a hierarchical timing wheel (Varghese & Lauer's scheme,
+// as adopted by the Linux timer subsystem and Kafka's purgatory) that
+// fronts the event heap for the dense short-horizon timer traffic a
+// fleet simulation generates: slice expiries, quantum renewals,
+// arrivals, futex/retry timeouts. Insert and cancel are O(1) — a slot
+// is a doubly linked list addressed by bit arithmetic — while far-future
+// events (beyond the wheel horizon) overflow into the 4-ary heap.
+//
+// The wheel never fires events itself, so it is invisible to the
+// (at, seq) ordering contract: whenever the earliest queued event might
+// be wheel-resident, peekNext drains the wheel's leading slot(s) into
+// the heap first (drainNextSlot), and the ring/heap two-way merge then
+// decides the firing order exactly as before. Draining moves pooled
+// event storage between queue tiers without touching callbacks, handles,
+// or sequence numbers, so firing order — and therefore every artefact
+// byte — is unchanged at any -par/-shards.
+//
+// Geometry: wheelLevels levels of wheelSlots slots; a level-0 slot spans
+// 2^wheelShift ns (32.768µs) and each level is wheelSlots times coarser:
+//
+//	level 0:  32.768µs/slot —  2.10ms horizon
+//	level 1:    2.10ms/slot —   134ms horizon
+//	level 2:     134ms/slot —   8.59s horizon
+//	level 3:     8.59s/slot —   9.16m horizon
+//	level 4:     9.16m/slot —   9.77h horizon
+//
+// The level-0 slot width equals the 32.768µs (2^15 ns) quantised
+// timeline grid from the resilience layer (load.RetryPolicy.Quantum,
+// load.PhasedPoisson), so a grid-aligned retry/backoff storm's instant
+// occupies exactly one slot: the whole burst is placed, cascaded, and
+// drained as a single list, never straddling two slots.
+//
+// pos is the wheel's cursor: the next undrained level-0 tick. Every
+// wheel-resident event satisfies at >= pos<<wheelShift (level-0 events
+// sit at ticks >= pos; a level-k slot is cascaded into lower levels
+// before pos enters it), which is the bound peekNext uses to stop
+// draining. pos advances only through drainNextSlot — never with the
+// clock directly — so RunWindow's park-at-window-edge clock jumps and
+// NextEventTime peeks need no wheel bookkeeping of their own.
+const (
+	wheelShift    = 15 // log2 of the level-0 slot width in ns (32.768µs)
+	wheelSlotBits = 6  // log2 slots per level
+	wheelSlots    = 1 << wheelSlotBits
+	wheelMask     = wheelSlots - 1
+	wheelLevels   = 5
+
+	// wheelMinHeap is the heap population that opens the wheel gate
+	// (Engine.wheelGate): a 4-ary heap of 16 is two levels deep, so
+	// below this the heap wins and the wheel's per-event cascade
+	// constant would be pure overhead.
+	wheelMinHeap = 16
+)
+
+type timerWheel struct {
+	pos   uint64                          // next undrained level-0 tick (time >> wheelShift)
+	count int                             // live events resident in the wheel
+	occ   [wheelLevels]uint64             // per-level slot occupancy bitmaps
+	slots [wheelLevels][wheelSlots]*event // doubly linked slot lists
+
+	// Lifetime counters for the profiling accessors (Engine.WheelInserts
+	// etc.); plain increments, never read on the simulation path.
+	inserts  uint64 // events routed into the wheel at schedule time
+	cascades uint64 // events moved down a level by drainNextSlot
+	drains   uint64 // events handed from level 0 to the heap
+}
+
+// place routes ev into the wheel slot covering ev.at and reports whether
+// it fit; an event beyond the top level's horizon is left for the heap.
+// The caller guarantees ev.at's tick is >= pos (otherwise the slot has
+// already been drained and only the heap preserves ordering).
+func (w *timerWheel) place(ev *event) bool {
+	tick := uint64(ev.at) >> wheelShift
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		sh := uint(lvl * wheelSlotBits)
+		if (tick>>sh)-(w.pos>>sh) < wheelSlots {
+			s := int((tick >> sh) & wheelMask)
+			head := w.slots[lvl][s]
+			ev.prev = nil
+			ev.next = head
+			if head != nil {
+				head.prev = ev
+			}
+			w.slots[lvl][s] = ev
+			w.occ[lvl] |= 1 << uint(s)
+			ev.idx = idxWheelBase - (lvl*wheelSlots + s)
+			w.count++
+			return true
+		}
+	}
+	return false
+}
+
+// remove unlinks a wheel-resident event (O(1)): idx encodes its level
+// and slot, prev/next splice it out of the slot list.
+func (w *timerWheel) remove(ev *event) {
+	code := idxWheelBase - ev.idx
+	lvl, s := code/wheelSlots, code%wheelSlots
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		w.slots[lvl][s] = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	}
+	ev.prev, ev.next = nil, nil
+	if w.slots[lvl][s] == nil {
+		w.occ[lvl] &^= 1 << uint(s)
+	}
+	ev.idx = idxFree
+	w.count--
+}
+
+// nextSlot locates the earliest occupied slot across all levels,
+// returning its level and start tick (in level-0 ticks). Each level's
+// bitmap is scanned as a ring from the cursor: bits at or above
+// pos&mask are this revolution, wrapped bits below it are the next.
+// A start-tick tie between levels keeps the higher level — its slot
+// spans the lower one's and must cascade before anything at that
+// instant may drain.
+func (w *timerWheel) nextSlot() (lvl int, startTick uint64) {
+	lvl = -1
+	for l := 0; l < wheelLevels; l++ {
+		if w.occ[l] == 0 {
+			continue
+		}
+		sh := uint(l * wheelSlotBits)
+		posL := w.pos >> sh
+		r := uint(posL & wheelMask)
+		var tickL uint64
+		if hi := w.occ[l] >> r; hi != 0 {
+			tickL = posL + uint64(bits.TrailingZeros64(hi))
+		} else {
+			// Only wrapped bits remain: they sit one revolution ahead.
+			tickL = posL - uint64(r) + wheelSlots + uint64(bits.TrailingZeros64(w.occ[l]))
+		}
+		if st := tickL << sh; lvl < 0 || st <= startTick {
+			lvl, startTick = l, st
+		}
+	}
+	return lvl, startTick
+}
+
+// drainNextSlot advances the cursor to the earliest occupied slot,
+// cascading higher-level slots into lower levels as the cursor enters
+// them, and moves the resulting level-0 slot's events into the heap.
+// Each event cascades at most wheelLevels-1 times over its lifetime, so
+// the amortized cost per event is O(1) list splices plus one O(log h)
+// heap push against the small near-horizon heap. Precondition:
+// w.count > 0.
+func (w *timerWheel) drainNextSlot(e *Engine) {
+	for {
+		lvl, start := w.nextSlot()
+		w.pos = start
+		s := int((start >> uint(lvl*wheelSlotBits)) & wheelMask)
+		list := w.slots[lvl][s]
+		w.slots[lvl][s] = nil
+		w.occ[lvl] &^= 1 << uint(s)
+		if lvl == 0 {
+			for ev := list; ev != nil; {
+				next := ev.next
+				ev.prev, ev.next = nil, nil
+				w.count--
+				w.drains++
+				e.heap.push(ev)
+				ev = next
+			}
+			w.pos = start + 1
+			return
+		}
+		// Cascade: with the cursor now at the slot's start, every event
+		// in it fits a lower level (or level 0) by construction.
+		for ev := list; ev != nil; {
+			next := ev.next
+			ev.prev, ev.next = nil, nil
+			w.count--
+			w.cascades++
+			w.place(ev)
+			ev = next
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// wheelDelta spreads test timers across all queue tiers: the immediate
+// ring, every wheel level, and the overflow heap.
+func wheelDelta(r *Rand) Duration {
+	switch r.Intn(7) {
+	case 0:
+		return 0 // immediate ring
+	case 1:
+		return Duration(r.Intn(1 << wheelShift)) // inside one level-0 slot
+	case 2:
+		return Duration(r.Intn(1 << (wheelShift + wheelSlotBits))) // level 0
+	case 3:
+		return Duration(r.Intn(1 << (wheelShift + 2*wheelSlotBits))) // level 1
+	case 4:
+		return Duration(r.Intn(1 << (wheelShift + 3*wheelSlotBits))) // level 2
+	case 5:
+		return Duration(r.Intn(1 << (wheelShift + 5*wheelSlotBits))) // level 3/4
+	default:
+		return Duration(1<<(wheelShift+5*wheelSlotBits)) + Duration(r.Intn(1000)) // heap overflow
+	}
+}
+
+// TestWheelPlacementTiers pins the routing rules: same-instant events hit
+// the ring, short-horizon futures the wheel, beyond-horizon futures the
+// heap, and events whose slot has already drained fall back to the heap.
+func TestWheelPlacementTiers(t *testing.T) {
+	e := NewEngine(1)
+	e.wheelGate = 0    // force wheel placement; the density gate has its own coverage
+	e.At(0, func() {}) // at == now: immediate ring
+	if e.WheelOccupancy() != 0 || e.heap.len() != 0 {
+		t.Fatalf("ring event leaked into wheel/heap")
+	}
+	e.At(Time(3*(1<<wheelShift)), func() {})   // level 0
+	e.At(Time(100*(1<<wheelShift)), func() {}) // level 1
+	if e.WheelOccupancy() != 2 {
+		t.Fatalf("wheel occupancy = %d, want 2", e.WheelOccupancy())
+	}
+	e.At(Time(uint64(1)<<(wheelShift+wheelLevels*wheelSlotBits))+10, func() {}) // overflow
+	if e.WheelOccupancy() != 2 || e.heap.len() != 1 {
+		t.Fatalf("overflow event not in heap (wheel %d, heap %d)", e.WheelOccupancy(), e.heap.len())
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.WheelOccupancy() != 0 || e.Pending() != 0 {
+		t.Fatalf("events left behind: wheel %d, pending %d", e.WheelOccupancy(), e.Pending())
+	}
+	// After a wheel event fires, the cursor sits one past its drained
+	// slot while the clock sits inside it: a new event for the current
+	// (already-drained) tick must route to the heap, yet still fire.
+	e2 := NewEngine(1)
+	e2.wheelGate = 0
+	e2.At(Time(3*(1<<wheelShift)), func() {})
+	if _, err := e2.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if nowTick := uint64(e2.Now()) >> wheelShift; e2.wheel.pos != nowTick+1 {
+		t.Fatalf("cursor = %d, want %d (one past the fired slot)", e2.wheel.pos, nowTick+1)
+	}
+	var got []Time
+	e2.At(e2.Now()+1, func() { got = append(got, e2.Now()) })
+	if e2.WheelOccupancy() != 0 {
+		t.Fatalf("behind-cursor event landed in the wheel")
+	}
+	if _, err := e2.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("behind-cursor event did not fire: %v", got)
+	}
+}
+
+// TestWheelOrderingProperty is the cross-tier ordering property: events
+// whose times span the ring, all wheel levels, and the overflow heap
+// fire in nondecreasing (at, seq) order regardless of insertion pattern.
+func TestWheelOrderingProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRand(seed)
+		e := NewEngine(1)
+		if seed%2 == 0 {
+			e.wheelGate = 0 // sweep both the gated and always-wheel configs
+		}
+		var fired []Time
+		count := int(n)%200 + 20
+		for i := 0; i < count; i++ {
+			e.After(wheelDelta(r), func() { fired = append(fired, e.Now()) })
+		}
+		if _, err := e.RunAll(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWheelSameInstantFIFO checks the quantised-grid shape from the
+// resilience layer: many timers on the exact same grid instants (the
+// 32.768µs retry/backoff grid) must fire FIFO within each instant even
+// though they share a wheel slot.
+func TestWheelSameInstantFIFO(t *testing.T) {
+	const grid = 32768 * Nanosecond
+	e := NewEngine(1)
+	e.wheelGate = 0
+	type rec struct {
+		at  Time
+		ord int
+	}
+	var fired []rec
+	ord := 0
+	for i := 0; i < 300; i++ {
+		i := i
+		e.After(Duration(i%10+1)*grid, func() {
+			fired = append(fired, rec{e.Now(), i})
+			ord++
+		})
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 300 {
+		t.Fatalf("fired %d, want 300", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if b.at < a.at || (b.at == a.at && b.ord < a.ord) {
+			t.Fatalf("grid instants not FIFO: %+v after %+v", b, a)
+		}
+	}
+}
+
+// TestWheelCancelInterleavings is the wheel-range counterpart of
+// TestCancelHeavyInterleavings: deltas span all levels, and the full
+// invariant set (wheel linkage, occupancy bitmaps, pending counter) is
+// checked after every mutation.
+func TestWheelCancelInterleavings(t *testing.T) {
+	rng := NewRand(4321)
+	e := NewEngine(1)
+	e.wheelGate = 0
+	var handles []Event
+	var fired []Time
+	for round := 0; round < 25; round++ {
+		for op := 0; op < 40; op++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				handles = append(handles, e.After(wheelDelta(rng), func() { fired = append(fired, e.Now()) }))
+			case 2:
+				if len(handles) > 0 {
+					handles[rng.Intn(len(handles))].Cancel()
+				}
+			case 3:
+				if len(handles) > 0 {
+					victim := handles[rng.Intn(len(handles))]
+					handles = append(handles, e.After(wheelDelta(rng), func() {
+						victim.Cancel()
+						fired = append(fired, e.Now())
+					}))
+				}
+			}
+			checkInvariants(t, e)
+		}
+		// Split the drain at a horizon inside the wheel range to exercise
+		// park-and-resume across slot boundaries.
+		if _, err := e.Run(e.Now() + Time(rng.Intn(1<<(wheelShift+2*wheelSlotBits)))); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, e)
+		if _, err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, e)
+		if e.Pending() != 0 {
+			t.Fatalf("round %d: %d events pending after RunAll", round, e.Pending())
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				t.Fatalf("events fired out of order: %v after %v", fired[i], fired[i-1])
+			}
+		}
+		fired = fired[:0]
+		handles = handles[:0]
+	}
+}
+
+// TestWheelHandleSurvivesCascade verifies that cascading (level k ->
+// level k-1 -> heap) preserves event identity: a handle taken at
+// schedule time still reports Active/When and can cancel after the
+// event has migrated tiers.
+func TestWheelHandleSurvivesCascade(t *testing.T) {
+	e := NewEngine(1)
+	e.wheelGate = 0
+	at := Time(200 * (1 << (wheelShift + wheelSlotBits))) // level 2 distance
+	fired := false
+	ev := e.At(at, func() { fired = true })
+	if e.WheelOccupancy() != 1 {
+		t.Fatalf("event not wheel-resident")
+	}
+	// Drive the clock close enough that the event has cascaded at least
+	// once (a sacrificial earlier timer forces cursor advance).
+	e.At(at-Time(1<<wheelShift), func() {})
+	if _, err := e.Run(at - 1); err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Active() || ev.When() != at {
+		t.Fatalf("handle lost across cascade: active=%v when=%v", ev.Active(), ev.When())
+	}
+	if e.WheelCascades() == 0 {
+		t.Fatalf("no cascades recorded; test scenario broken")
+	}
+	ev.Cancel()
+	if ev.Active() {
+		t.Fatal("cancel after cascade did not take")
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired after cascade")
+	}
+}
+
+// TestWheelCounters checks the profiling accessors' accounting identity:
+// every wheel insert is eventually drained to the heap, cancelled in
+// place, or still resident.
+func TestWheelCounters(t *testing.T) {
+	e := NewEngine(1)
+	e.wheelGate = 0 // all 500 must be wheel-resident for the counter identity
+	nop := func(any) {}
+	var handles []Event
+	for i := 0; i < 500; i++ {
+		handles = append(handles, e.AfterFunc(Duration(i%300+1)*Duration(1<<wheelShift), nop, nil))
+	}
+	inserted := e.WheelInserts()
+	if inserted == 0 {
+		t.Fatal("no wheel inserts recorded")
+	}
+	cancelled := uint64(0)
+	for i, h := range handles {
+		if i%3 == 0 {
+			h.Cancel()
+			cancelled++
+		}
+	}
+	if _, err := e.Run(150 * Time(1<<wheelShift)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.WheelInserts() - e.WheelDrains() - uint64(e.WheelOccupancy()); got != cancelled {
+		t.Fatalf("counter identity: inserts-drains-occupancy = %d, want %d cancelled", got, cancelled)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.WheelOccupancy() != 0 {
+		t.Fatalf("occupancy = %d after drain", e.WheelOccupancy())
+	}
+	if e.WheelInserts()-e.WheelDrains() != cancelled {
+		t.Fatalf("drains = %d, inserts = %d, cancelled = %d", e.WheelDrains(), e.WheelInserts(), cancelled)
+	}
+}
+
+// TestWheelSteadyStateZeroAlloc extends the zero-alloc pin to the wheel
+// path: schedule/cascade/drain/fire cycles at wheel distances allocate
+// nothing once the pool is warm.
+func TestWheelSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	e.wheelGate = 0
+	nop := func(any) {}
+	for i := 0; i < 200; i++ {
+		e.AfterFunc(Duration(i%100+1)*Duration(1<<wheelShift), nop, nil)
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.AfterFunc(70*Duration(1<<wheelShift), nop, nil)      // level 1
+		ev := e.AfterFunc(3*Duration(1<<wheelShift), nop, nil) // level 0
+		ev.Cancel()                                            // O(1) wheel cancel
+		if _, err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state wheel cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestWheelRunWindowPark checks the pdes contract: RunWindow must park
+// the clock at the window edge without disturbing wheel-resident events,
+// and NextEventTime must report the exact next instant (not a slot
+// bound) both before and after the park.
+func TestWheelRunWindowPark(t *testing.T) {
+	e := NewEngine(1)
+	e.wheelGate = 0
+	at := Time(37*(1<<wheelShift)) + 123 // mid-slot, level 0
+	fired := Time(-1)
+	e.At(at, func() { fired = e.Now() })
+	if got, ok := e.NextEventTime(); !ok || got != at {
+		t.Fatalf("NextEventTime = %v,%v, want %v,true", got, ok, at)
+	}
+	edge := at - 500
+	end, err := e.RunWindow(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != edge || e.Now() != edge {
+		t.Fatalf("RunWindow parked at %v, want %v", end, edge)
+	}
+	if fired != -1 {
+		t.Fatal("event fired inside a window that excludes it")
+	}
+	if got, ok := e.NextEventTime(); !ok || got != at {
+		t.Fatalf("NextEventTime after park = %v,%v, want %v,true", got, ok, at)
+	}
+	// A message injected at the barrier (AtFunc from outside) for an
+	// instant between the edge and the wheel event must fire first.
+	var order []string
+	e.AtFunc(at-100, func(any) { order = append(order, "msg") }, nil)
+	e.At(at+50, func() { order = append(order, "late") })
+	if _, err := e.RunWindow(at + 100); err != nil {
+		t.Fatal(err)
+	}
+	if fired != at {
+		t.Fatalf("wheel event fired at %v, want %v", fired, at)
+	}
+	if len(order) != 2 || order[0] != "msg" || order[1] != "late" {
+		t.Fatalf("order = %v, want [msg late]", order)
+	}
+	checkInvariants(t, e)
+}
+
+// TestPendingCounterExact is the satellite pin: Pending must track
+// alloc/fire/cancel/recycle exactly, across all three queue tiers,
+// through horizon splits, double cancels, and stale handles.
+func TestPendingCounterExact(t *testing.T) {
+	e := NewEngine(1)
+	e.wheelGate = 0 // keep the one-event-per-tier layout below exact
+	model := 0
+	check := func(ctx string) {
+		t.Helper()
+		if e.Pending() != model {
+			t.Fatalf("%s: Pending = %d, model = %d", ctx, e.Pending(), model)
+		}
+	}
+	check("fresh")
+
+	fired := 0
+	onFire := func(any) { fired++; model-- }
+	// One event per tier.
+	ring := e.AtFunc(0, onFire, nil)
+	wheelEv := e.AtFunc(Time(5*(1<<wheelShift)), onFire, nil)
+	deep := e.AtFunc(Time(100*(1<<(wheelShift+wheelSlotBits))), onFire, nil)
+	over := e.AtFunc(Time(uint64(1)<<(wheelShift+wheelLevels*wheelSlotBits))+5, onFire, nil)
+	model += 4
+	check("scheduled one per tier")
+
+	// Cancel the ring and wheel events; double cancel must not recount.
+	ring.Cancel()
+	model--
+	check("ring cancel")
+	ring.Cancel()
+	check("ring double cancel")
+	wheelEv.Cancel()
+	model--
+	check("wheel cancel")
+	wheelEv.Cancel()
+	check("wheel double cancel")
+
+	// Horizon split: fire the deep event, leave the overflow one queued.
+	if _, err := e.Run(Time(200 * (1 << (wheelShift + wheelSlotBits)))); err != nil {
+		t.Fatal(err)
+	}
+	check("after horizon split")
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// A stale handle (fired event, storage recycled) must be inert.
+	deep.Cancel()
+	check("stale cancel")
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	check("drained")
+	if fired != 2 || e.Pending() != 0 {
+		t.Fatalf("fired = %d, Pending = %d", fired, e.Pending())
+	}
+	// Cancel-after-fire on the last handle: still inert.
+	over.Cancel()
+	check("stale cancel after drain")
+
+	// Randomized churn against the model counter.
+	rng := NewRand(99)
+	var handles []Event
+	for op := 0; op < 2000; op++ {
+		switch rng.Intn(3) {
+		case 0:
+			handles = append(handles, e.AfterFunc(wheelDelta(rng), onFire, nil))
+			model++
+		case 1:
+			if len(handles) > 0 {
+				h := handles[rng.Intn(len(handles))]
+				if h.Active() {
+					model--
+				}
+				h.Cancel()
+			}
+		case 2:
+			if _, err := e.Run(e.Now() + Time(rng.Intn(1<<(wheelShift+3*wheelSlotBits)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check("churn")
+	}
+	if _, err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	check("final drain")
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after final drain", e.Pending())
+	}
+}
